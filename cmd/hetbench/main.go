@@ -1,0 +1,71 @@
+// Command hetbench regenerates the paper's evaluation artifacts: the Table 1
+// comparison and the figure-style sweeps E2..E15 (see DESIGN.md §2 and
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	hetbench                    # run everything, text tables to stdout
+//	hetbench -exp table1,e5     # selected experiments
+//	hetbench -exp e2 -csv       # CSV output (for plotting)
+//	hetbench -seed 7            # reseed the workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetmpc/internal/exp"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e15) or 'all'")
+		seedFlag = flag.Uint64("seed", 7, "workload seed")
+		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		listFlag = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	all := exp.All()
+	if *listFlag {
+		for _, id := range exp.Order() {
+			fmt.Println(id)
+		}
+		return 0
+	}
+	var ids []string
+	if *expFlag == "all" {
+		ids = exp.Order()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := all[id]; !ok {
+				fmt.Fprintf(os.Stderr, "hetbench: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		table, err := all[id](*seedFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
+			return 1
+		}
+		if *csvFlag {
+			table.RenderCSV(os.Stdout)
+		} else {
+			table.Render(os.Stdout)
+		}
+	}
+	return 0
+}

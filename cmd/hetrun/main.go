@@ -1,0 +1,253 @@
+// Command hetrun executes one heterogeneous-MPC algorithm on one graph and
+// reports the output quality and the measured model metrics (rounds,
+// messages, words).
+//
+// Usage:
+//
+//	hetrun -alg mst -n 1024 -m 8192
+//	hetrun -alg spanner -k 4 -gen connected -n 512 -m 6144
+//	hetrun -alg matching -gen hubs -n 600
+//	hetrun -alg connectivity -input graph.txt
+//	hetrun -alg mst -f 0.5            # superlinear large machine
+//	hetrun -alg baseline-mst          # sublinear regime (no large machine)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetmpc"
+	"hetmpc/internal/graph"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		alg   = flag.String("alg", "mst", "algorithm: mst, spanner, apsp, matching, matching-filter, connectivity, approx-mst, mincut, approx-mincut, mis, coloring, 2v1, baseline-mst, baseline-cc, baseline-mis, baseline-coloring, baseline-matching")
+		n     = flag.Int("n", 512, "vertices (generated workloads)")
+		m     = flag.Int("m", 4096, "edges (generated workloads)")
+		gen   = flag.String("gen", "gnm", "generator: gnm, connected, cycles, cycles2, hubs, grid, star")
+		input = flag.String("input", "", "read the graph from a file instead of generating")
+		seed  = flag.Uint64("seed", 1, "seed for the workload and the cluster")
+		gamma = flag.Float64("gamma", 0.5, "small-machine exponent γ")
+		f     = flag.Float64("f", 0, "large-machine extra exponent f")
+		k     = flag.Int("k", 4, "spanner parameter k")
+		eps   = flag.Float64("eps", 0.25, "approximation parameter ε")
+	)
+	flag.Parse()
+
+	g, err := makeGraph(*input, *gen, *n, *m, *seed, *alg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetrun:", err)
+		return 2
+	}
+	noLarge := len(*alg) > 9 && (*alg)[:9] == "baseline-"
+	c, err := hetmpc.NewCluster(hetmpc.Config{
+		N: g.N, M: g.M(), Gamma: *gamma, F: *f, Seed: *seed, NoLarge: noLarge,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetrun:", err)
+		return 2
+	}
+	fmt.Printf("graph: n=%d m=%d Δ=%d avg-deg=%.1f | cluster: K=%d small-cap=%d large-cap=%d\n",
+		g.N, g.M(), g.MaxDegree(), g.AvgDegree(), c.K(), c.SmallCap(), c.LargeCap())
+
+	if err := dispatch(c, g, *alg, *k, *eps); err != nil {
+		fmt.Fprintln(os.Stderr, "hetrun:", err)
+		return 1
+	}
+	st := c.Stats()
+	fmt.Printf("model: rounds=%d messages=%d words=%d max-send=%d max-recv=%d\n",
+		st.Rounds, st.Messages, st.TotalWords, st.MaxSendWords, st.MaxRecvWords)
+	return 0
+}
+
+func makeGraph(input, gen string, n, m int, seed uint64, alg string) (*hetmpc.Graph, error) {
+	if input != "" {
+		fh, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		return graph.Read(fh)
+	}
+	weighted := alg == "mst" || alg == "baseline-mst" || alg == "approx-mst" || alg == "approx-mincut"
+	switch gen {
+	case "gnm":
+		if weighted {
+			return hetmpc.GNMWeighted(n, m, seed), nil
+		}
+		return hetmpc.GNM(n, m, seed), nil
+	case "connected":
+		return hetmpc.ConnectedGNM(n, m, seed, weighted), nil
+	case "cycles":
+		return hetmpc.Cycles(n, 1, seed), nil
+	case "cycles2":
+		return hetmpc.Cycles(n, 2, seed), nil
+	case "hubs":
+		return hetmpc.PlantedHubs(n, 4, 4, n/2, seed), nil
+	case "grid":
+		r := 1
+		for r*r < n {
+			r++
+		}
+		return hetmpc.Grid(r, r), nil
+	case "star":
+		return hetmpc.Star(n), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", gen)
+}
+
+func dispatch(c *hetmpc.Cluster, g *hetmpc.Graph, alg string, k int, eps float64) error {
+	switch alg {
+	case "mst":
+		r, err := hetmpc.MST(c, g)
+		if err != nil {
+			return err
+		}
+		if err := hetmpc.CheckMST(g, r.Edges); err != nil {
+			return fmt.Errorf("validation: %w", err)
+		}
+		fmt.Printf("MST: weight=%d edges=%d boruvka-phases=%d sample-tries=%d (validated exact)\n",
+			r.Weight, len(r.Edges), r.BoruvkaPhases, r.SampleTries)
+	case "spanner":
+		r, err := hetmpc.Spanner(c, g, k)
+		if err != nil {
+			return err
+		}
+		h := hetmpc.NewGraph(g.N, r.Edges, false)
+		if err := hetmpc.CheckSpanner(g, h, r.Stretch, 4, 9); err != nil {
+			return fmt.Errorf("validation: %w", err)
+		}
+		fmt.Printf("spanner: k=%d stretch<=%d edges=%d of %d (validated on sampled pairs)\n",
+			k, r.Stretch, len(r.Edges), g.M())
+	case "apsp":
+		o, err := hetmpc.BuildAPSPOracle(c, g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("APSP oracle: spanner edges=%d stretch<=%d d(0,%d)=%d\n",
+			o.Spanner.M(), o.Stretch, g.N-1, o.Dist(0, g.N-1))
+	case "matching":
+		r, err := hetmpc.MaximalMatching(c, g)
+		if err != nil {
+			return err
+		}
+		if err := hetmpc.CheckMatching(g, r.Edges, true); err != nil {
+			return fmt.Errorf("validation: %w", err)
+		}
+		fmt.Printf("matching: edges=%d phase1-iters=%d (validated maximal)\n", len(r.Edges), r.Phase1Iters)
+	case "matching-filter":
+		r, err := hetmpc.MatchingFiltering(c, g)
+		if err != nil {
+			return err
+		}
+		if err := hetmpc.CheckMatching(g, r.Edges, true); err != nil {
+			return fmt.Errorf("validation: %w", err)
+		}
+		fmt.Printf("matching (filtering): edges=%d filter-iters=%d (validated maximal)\n", len(r.Edges), r.FilterIters)
+	case "connectivity":
+		r, err := hetmpc.Connectivity(c, g)
+		if err != nil {
+			return err
+		}
+		_, want := hetmpc.Components(g)
+		if r.Components != want {
+			return fmt.Errorf("validation: %d components, want %d", r.Components, want)
+		}
+		fmt.Printf("connectivity: components=%d phases=%d (validated exact)\n", r.Components, r.Phases)
+	case "approx-mst":
+		r, err := hetmpc.ApproxMSTWeight(c, g, eps)
+		if err != nil {
+			return err
+		}
+		_, exact := hetmpc.KruskalMSF(g)
+		fmt.Printf("approx MST: estimate=%d exact=%d thresholds=%d\n", r.Estimate, exact, r.Thresholds)
+	case "mincut":
+		r, err := hetmpc.MinCutUnweighted(c, g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("min cut: value=%d trials=%d\n", r.Value, r.Trials)
+	case "approx-mincut":
+		r, err := hetmpc.ApproxMinCut(c, g, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("approx min cut: value=%d guesses=%d\n", r.Value, r.Trials)
+	case "mis":
+		r, err := hetmpc.MIS(c, g)
+		if err != nil {
+			return err
+		}
+		if err := hetmpc.CheckMIS(g, r.Set); err != nil {
+			return fmt.Errorf("validation: %w", err)
+		}
+		fmt.Printf("MIS: size=%d iterations=%d (validated)\n", len(r.Set), r.Iterations)
+	case "coloring":
+		r, err := hetmpc.Coloring(c, g)
+		if err != nil {
+			return err
+		}
+		if err := hetmpc.CheckColoring(g, r.Colors, r.MaxColor); err != nil {
+			return fmt.Errorf("validation: %w", err)
+		}
+		fmt.Printf("coloring: palette=%d conflict-edges=%d retries=%d (validated proper)\n",
+			r.MaxColor+1, r.ConflictEdges, r.Retries)
+	case "2v1":
+		r, err := hetmpc.TwoVsOneCycle(c, g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("2-vs-1 cycle: cycles=%d\n", r.Cycles)
+	case "baseline-mst":
+		r, err := hetmpc.BaselineMST(c, g)
+		if err != nil {
+			return err
+		}
+		if err := hetmpc.CheckMST(g, r.Edges); err != nil {
+			return fmt.Errorf("validation: %w", err)
+		}
+		fmt.Printf("baseline MST: weight=%d phases=%d (validated exact)\n", r.Weight, r.Phases)
+	case "baseline-cc":
+		r, err := hetmpc.BaselineConnectivity(c, g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("baseline connectivity: components=%d phases=%d\n", r.Components, r.Phases)
+	case "baseline-mis":
+		r, err := hetmpc.BaselineMIS(c, g)
+		if err != nil {
+			return err
+		}
+		if err := hetmpc.CheckMIS(g, r.Set); err != nil {
+			return fmt.Errorf("validation: %w", err)
+		}
+		fmt.Printf("baseline MIS (Luby): size=%d rounds=%d (validated)\n", len(r.Set), r.Rounds)
+	case "baseline-coloring":
+		r, err := hetmpc.BaselineColoring(c, g)
+		if err != nil {
+			return err
+		}
+		if err := hetmpc.CheckColoring(g, r.Colors, r.MaxColor); err != nil {
+			return fmt.Errorf("validation: %w", err)
+		}
+		fmt.Printf("baseline coloring: palette=%d trials=%d (validated proper)\n", r.MaxColor+1, r.Rounds)
+	case "baseline-matching":
+		match, peel, err := hetmpc.BaselineMatching(c, g)
+		if err != nil {
+			return err
+		}
+		if err := hetmpc.CheckMatching(g, match, true); err != nil {
+			return fmt.Errorf("validation: %w", err)
+		}
+		fmt.Printf("baseline matching: edges=%d peel-iters=%d (validated maximal)\n", len(match), peel.Iterations)
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Matching and the average degree (§5, Theorem 5.1): the heterogeneous
+// algorithm's peeling phase runs only on the subgraph induced by vertices of
+// degree ≤ d² (d = average degree), so its iteration count is immune to
+// high-degree hubs — unlike the pure-sublinear baseline, which peels the
+// whole graph.
+//
+//	go run ./examples/matching-degree
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetmpc"
+)
+
+func main() {
+	const n = 600
+	fmt.Println("planted-hub workloads: average degree ≈ 4 everywhere, Δ grows")
+	fmt.Printf("%8s | %6s | %22s | %22s\n", "hub deg", "Δ", "heterogeneous", "sublinear baseline")
+	for _, hubDeg := range []int{50, 200, 500} {
+		g := hetmpc.PlantedHubs(n, 4, 4, hubDeg, uint64(hubDeg))
+
+		het, err := hetmpc.NewCluster(hetmpc.Config{N: g.N, M: g.M(), Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rh, err := hetmpc.MaximalMatching(het, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hetmpc.CheckMatching(g, rh.Edges, true); err != nil {
+			log.Fatal("heterogeneous matching invalid: ", err)
+		}
+
+		sub, err := hetmpc.NewCluster(hetmpc.Config{N: g.N, M: g.M(), NoLarge: true, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		match, peel, err := hetmpc.BaselineMatching(sub, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hetmpc.CheckMatching(g, match, true); err != nil {
+			log.Fatal("baseline matching invalid: ", err)
+		}
+
+		fmt.Printf("%8d | %6d | %3d iters, %4d rounds | %3d iters, %4d rounds\n",
+			hubDeg, g.MaxDegree(), rh.Phase1Iters, rh.Stats.Rounds,
+			peel.Iterations, peel.Stats.Rounds)
+	}
+	fmt.Println()
+	fmt.Println("the heterogeneous column stays flat as Δ grows: hubs are handled by")
+	fmt.Println("phase 2 (2d·log n random edges per hub to the large machine) in O(1)")
+	fmt.Println("rounds, exactly as Theorem 5.1 promises.")
+}

@@ -1,0 +1,63 @@
+// Spanner + APSP (Corollary 4.2): build an O(log n)-spanner of size Õ(n) in
+// O(1) rounds, keep it on the large machine, and answer all-pairs
+// shortest-path queries with O(log n) stretch.
+//
+//	go run ./examples/spanner-apsp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetmpc"
+)
+
+func main() {
+	g := hetmpc.ConnectedGNM(512, 8192, 7, false)
+	cluster, err := hetmpc.NewCluster(hetmpc.Config{N: g.N, M: g.M(), Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First, a plain (6k-1)-spanner for a small k: the paper's headline.
+	k := 3
+	sp, err := hetmpc.Spanner(cluster, g, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(6k-1)-spanner, k=%d: %d of %d edges kept (%.1f%%), %d rounds\n",
+		k, len(sp.Edges), g.M(), 100*float64(len(sp.Edges))/float64(g.M()), sp.Stats.Rounds)
+	h := hetmpc.NewGraph(g.N, sp.Edges, false)
+	if err := hetmpc.CheckSpanner(g, h, sp.Stretch, 6, 11); err != nil {
+		log.Fatal("stretch validation failed: ", err)
+	}
+	fmt.Printf("stretch ≤ %d validated on sampled pairs\n", sp.Stretch)
+
+	// Then the APSP oracle: k = log n, spanner size Õ(n).
+	cluster2, err := hetmpc.NewCluster(hetmpc.Config{N: g.N, M: g.M(), Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := hetmpc.BuildAPSPOracle(cluster2, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAPSP oracle: %d-edge spanner on the large machine, built in %d rounds\n",
+		oracle.Spanner.M(), oracle.BuildStats.Rounds)
+
+	// Compare oracle answers against exact BFS on a few pairs.
+	adj := g.Adj()
+	worst := 1.0
+	for _, src := range []int{0, 100, 250} {
+		exact := hetmpc.BFSDist(adj, src)
+		for _, dst := range []int{5, 77, 311, 501} {
+			est := oracle.Dist(src, dst)
+			ratio := float64(est) / float64(exact[dst])
+			if ratio > worst {
+				worst = ratio
+			}
+			fmt.Printf("  d(%3d,%3d): exact %d, oracle %d (x%.1f)\n", src, dst, exact[dst], est, ratio)
+		}
+	}
+	fmt.Printf("worst observed stretch x%.1f (guarantee x%d)\n", worst, oracle.Stretch)
+}

@@ -1,0 +1,283 @@
+// Package hetmpc is an executable reproduction of "Massively Parallel
+// Computation in a Heterogeneous Regime" (Fischer, Horowitz, Oshman — PODC
+// 2022): a simulator for the Heterogeneous MPC model — one near-linear (or
+// superlinear) machine plus many sublinear machines, synchronous rounds,
+// strict per-round communication caps — together with the paper's
+// algorithms:
+//
+//   - MST in O(log log(m/n)) Borůvka phases (§3, Theorem 3.1);
+//   - O(k)-spanners of size O(n^{1+1/k}) in O(1) rounds (§4, Theorem 4.1),
+//     and the O(log n)-approximate APSP oracle of Corollary 4.2;
+//   - maximal matching whose round count depends on the average degree
+//     (§5, Theorem 5.1) and the filtering variant for superlinear memory
+//     (Theorem 5.5);
+//   - the ported near-linear algorithms of Appendix C: connectivity and
+//     (1+ε)-MST weight via graph sketches, exact and (1±ε) minimum cut,
+//     MIS in O(log log Δ) and (Δ+1)-coloring in O(1) rounds;
+//   - the "2-vs-1 cycle" problem that motivates the model;
+//   - sublinear-regime baselines (no large machine) for every comparison
+//     row of the paper's Table 1.
+//
+// Quickstart:
+//
+//	g := hetmpc.GNMWeighted(1024, 8192, 42)
+//	c, err := hetmpc.NewCluster(hetmpc.Config{N: g.N, M: g.M(), Seed: 1})
+//	if err != nil { ... }
+//	res, err := hetmpc.MST(c, g)
+//	fmt.Println(res.Weight, res.Stats.Rounds)
+//
+// Every algorithm runs entirely inside the simulated model (all cross-machine
+// data moves through capacity-checked Exchange rounds) and returns the
+// measured round count and traffic alongside its output.
+package hetmpc
+
+import (
+	"hetmpc/internal/core"
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+	"hetmpc/internal/sublinear"
+)
+
+// Re-exported model types.
+type (
+	// Config parameterizes a cluster; see mpc.Config for field docs.
+	Config = mpc.Config
+	// Cluster is a running heterogeneous MPC system.
+	Cluster = mpc.Cluster
+	// ClusterStats are the accumulated communication metrics of a cluster.
+	ClusterStats = mpc.Stats
+	// Graph is an edge-list graph over vertices 0..N-1.
+	Graph = graph.Graph
+	// Edge is an undirected edge with U < V.
+	Edge = graph.Edge
+	// Half is one direction of an edge in an adjacency list.
+	Half = graph.Half
+	// Stats is the per-run metrics snapshot attached to algorithm results.
+	Stats = core.Stats
+)
+
+// Re-exported result types.
+type (
+	MSTResult          = core.MSTResult
+	SpannerResult      = core.SpannerResult
+	MatchingResult     = core.MatchingResult
+	ConnectivityResult = core.ConnectivityResult
+	MSTApproxResult    = core.MSTApproxResult
+	MinCutResult       = core.MinCutResult
+	MISResult          = core.MISResult
+	ColoringResult     = core.ColoringResult
+	TwoVsOneCycleRes   = core.TwoVsOneCycleResult
+	APSPOracle         = core.APSPOracle
+
+	BaselineCCResult       = sublinear.CCResult
+	BaselineMSTResult      = sublinear.MSTResult
+	BaselineMISResult      = sublinear.MISResult
+	BaselineColoringResult = sublinear.ColoringResult
+	BaselineSpannerResult  = sublinear.SpannerResult
+	PeelResult             = sublinear.PeelResult
+
+	// MSTOptions exposes the §3 ablation knobs (experiment E16).
+	MSTOptions = core.MSTOptions
+)
+
+// NewCluster validates cfg and builds a heterogeneous cluster: one large
+// machine with Õ(n^{1+F}) words of memory (disable with NoLarge for the
+// pure-sublinear baseline regime) and K = ⌈m/n^γ⌉ small machines with
+// Õ(n^γ) words each.
+func NewCluster(cfg Config) (*Cluster, error) { return mpc.New(cfg) }
+
+// NewGraph builds a graph from an edge list (canonicalized, deduplicated).
+func NewGraph(n int, edges []Edge, weighted bool) *Graph { return graph.New(n, edges, weighted) }
+
+// NewEdge returns the canonical form of edge {u, v} with weight w.
+func NewEdge(u, v int, w int64) Edge { return graph.NewEdge(u, v, w) }
+
+// --- Workload generators ---
+
+// GNM returns a uniformly random simple unweighted graph.
+func GNM(n, m int, seed uint64) *Graph { return graph.GNM(n, m, seed) }
+
+// GNMWeighted is GNM with a random permutation of 1..m as (unique) weights.
+func GNMWeighted(n, m int, seed uint64) *Graph { return graph.GNMWeighted(n, m, seed) }
+
+// ConnectedGNM returns a connected random graph (random recursive tree plus
+// random extra edges).
+func ConnectedGNM(n, m int, seed uint64, weighted bool) *Graph {
+	return graph.ConnectedGNM(n, m, seed, weighted)
+}
+
+// Cycles returns a disjoint union of `parts` cycles covering n vertices
+// (parts = 1 or 2 gives the paper's "2-vs-1 cycle" instances).
+func Cycles(n, parts int, seed uint64) *Graph { return graph.Cycles(n, parts, seed) }
+
+// PlantedHubs returns a sparse core of average degree ~d plus `hubs`
+// vertices of degree ~hubDeg (the workload separating average from maximum
+// degree in the matching experiment).
+func PlantedHubs(n, d, hubs, hubDeg int, seed uint64) *Graph {
+	return graph.PlantedHubs(n, d, hubs, hubDeg, seed)
+}
+
+// PlantedCut returns two dense halves joined by exactly `cut` cross edges.
+func PlantedCut(n, mPerSide, cut int, seed uint64, weighted bool) *Graph {
+	return graph.PlantedCut(n, mPerSide, cut, seed, weighted)
+}
+
+// Star, Path, Grid and Complete build the standard fixed topologies.
+func Star(n int) *Graph { return graph.Star(n) }
+
+// Path returns the path graph on n vertices.
+func Path(n int) *Graph { return graph.Path(n) }
+
+// Grid returns the r×c grid graph.
+func Grid(r, c int) *Graph { return graph.Grid(r, c) }
+
+// Complete returns K_n.
+func Complete(n int, weighted bool, seed uint64) *Graph { return graph.Complete(n, weighted, seed) }
+
+// --- Heterogeneous MPC algorithms (the paper's contributions) ---
+
+// MST computes a minimum spanning forest in O(log log(m/n)) Borůvka phases
+// plus an O(1)-round KKT sampling step (§3, Theorem 3.1).
+func MST(c *Cluster, g *Graph) (*MSTResult, error) { return core.MST(c, g) }
+
+// Spanner computes a (6k-1)-spanner of expected size O(n^{1+1/k}) in O(1)
+// rounds for unweighted graphs (§4, Theorem 4.1).
+func Spanner(c *Cluster, g *Graph, k int) (*SpannerResult, error) { return core.Spanner(c, g, k) }
+
+// SpannerWeighted is the weighted reduction: a (12k-1)-spanner of size
+// O(n^{1+1/k} log n).
+func SpannerWeighted(c *Cluster, g *Graph, k int) (*SpannerResult, error) {
+	return core.SpannerWeighted(c, g, k)
+}
+
+// BuildAPSPOracle builds the Corollary 4.2 oracle: an O(log n)-stretch
+// spanner of size Õ(n) kept on the large machine, answering all-pairs
+// distance queries locally.
+func BuildAPSPOracle(c *Cluster, g *Graph) (*APSPOracle, error) { return core.BuildAPSPOracle(c, g) }
+
+// MaximalMatching computes a maximal matching by the three-phase algorithm
+// of §5 (Theorem 5.1); its iteration count depends on the average degree d,
+// not on Δ.
+func MaximalMatching(c *Cluster, g *Graph) (*MatchingResult, error) {
+	return core.MaximalMatching(c, g)
+}
+
+// MatchingFiltering is the Theorem 5.5 variant for superlinear large-machine
+// memory (configure the cluster with F > 0): O(1/f) filtering iterations.
+func MatchingFiltering(c *Cluster, g *Graph) (*MatchingResult, error) {
+	return core.MatchingFiltering(c, g)
+}
+
+// Connectivity identifies connected components in O(1) rounds via AGM graph
+// sketches (Appendix C.1, Theorem C.1).
+func Connectivity(c *Cluster, g *Graph) (*ConnectivityResult, error) {
+	return core.Connectivity(c, g)
+}
+
+// ApproxMSTWeight estimates the MST weight within (1+ε) via component
+// counting (Appendix C.1.1, Theorem C.2). The input should be connected.
+func ApproxMSTWeight(c *Cluster, g *Graph, eps float64) (*MSTApproxResult, error) {
+	return core.ApproxMSTWeight(c, g, eps)
+}
+
+// MinCutUnweighted computes the exact minimum cut w.h.p. via 2-out
+// contraction (Appendix C.2, Theorem C.3).
+func MinCutUnweighted(c *Cluster, g *Graph) (*MinCutResult, error) {
+	return core.MinCutUnweighted(c, g)
+}
+
+// ApproxMinCut estimates a weighted minimum cut within (1±ε) via Karger-style
+// skeletons (Appendix C.3, Theorem C.4).
+func ApproxMinCut(c *Cluster, g *Graph, eps float64) (*MinCutResult, error) {
+	return core.ApproxMinCut(c, g, eps)
+}
+
+// MIS computes a maximal independent set in O(log log Δ) iterations
+// (Appendix C.4, Theorem C.6).
+func MIS(c *Cluster, g *Graph) (*MISResult, error) { return core.MIS(c, g) }
+
+// Coloring computes a (Δ+1)-coloring in O(1) rounds via color-list sampling
+// (Appendix C.5, Theorem C.7).
+func Coloring(c *Cluster, g *Graph) (*ColoringResult, error) { return core.Coloring(c, g) }
+
+// TwoVsOneCycle solves the model's motivating problem in O(1) rounds: the
+// input (a union of cycles, m = n) fits the large machine whole.
+func TwoVsOneCycle(c *Cluster, g *Graph) (*TwoVsOneCycleRes, error) {
+	return core.TwoVsOneCycle(c, g)
+}
+
+// --- Sublinear-regime baselines (clusters built with Config.NoLarge) ---
+
+// BaselineConnectivity is random-mate label contraction: Θ(log n) phases.
+func BaselineConnectivity(c *Cluster, g *Graph) (*BaselineCCResult, error) {
+	return sublinear.Connectivity(c, g)
+}
+
+// BaselineMST is Borůvka with random-mate contraction: Θ(log n) phases.
+func BaselineMST(c *Cluster, g *Graph) (*BaselineMSTResult, error) {
+	return sublinear.MST(c, g)
+}
+
+// BaselineMIS is Luby's algorithm: Θ(log n) rounds.
+func BaselineMIS(c *Cluster, g *Graph) (*BaselineMISResult, error) {
+	return sublinear.MIS(c, g)
+}
+
+// BaselineColoring is iterated random color trials: Θ(log n) rounds.
+func BaselineColoring(c *Cluster, g *Graph) (*BaselineColoringResult, error) {
+	return sublinear.Coloring(c, g)
+}
+
+// BaselineMatching is mirror-matching peeling to full maximality: the
+// iteration count tracks log Δ (DESIGN.md substitution 1).
+func BaselineMatching(c *Cluster, g *Graph) ([]Edge, *PeelResult, error) {
+	return sublinear.MaximalMatching(c, g)
+}
+
+// BaselineSpanner is plain distributed Baswana-Sen: Θ(k) rounds.
+func BaselineSpanner(c *Cluster, g *Graph, k int) (*BaselineSpannerResult, error) {
+	return sublinear.Spanner(c, g, k)
+}
+
+// MSTWithOptions runs the §3 MST with ablation knobs (experiment E16).
+func MSTWithOptions(c *Cluster, g *Graph, opts MSTOptions) (*MSTResult, error) {
+	return core.MSTWithOptions(c, g, opts)
+}
+
+// --- Reference (exact, out-of-model) algorithms for validation ---
+
+// KruskalMSF returns the exact minimum spanning forest and its weight.
+func KruskalMSF(g *Graph) ([]Edge, int64) { return graph.KruskalMSF(g) }
+
+// Components returns exact per-vertex component labels and the count.
+func Components(g *Graph) ([]int, int) { return graph.Components(g) }
+
+// StoerWagner returns the exact global minimum cut weight.
+func StoerWagner(g *Graph) int64 { return graph.StoerWagner(g) }
+
+// BFSDist returns exact unweighted distances from src (math.MaxInt marks
+// unreachable vertices).
+func BFSDist(adj [][]Half, src int) []int { return graph.BFSDist(adj, src) }
+
+// DijkstraDist returns exact weighted distances from src.
+func DijkstraDist(adj [][]Half, src int) []int64 { return graph.DijkstraDist(adj, src) }
+
+// CheckMST, CheckMatching, CheckMIS, CheckColoring and CheckSpanner validate
+// outputs against the input graph; they return nil on success.
+func CheckMST(g *Graph, tree []Edge) error { return graph.CheckMST(g, tree) }
+
+// CheckMatching validates a (maximal) matching.
+func CheckMatching(g *Graph, m []Edge, maximal bool) error { return graph.CheckMatching(g, m, maximal) }
+
+// CheckMIS validates a maximal independent set.
+func CheckMIS(g *Graph, set []int) error { return graph.CheckMIS(g, set) }
+
+// CheckColoring validates a proper coloring with palette [0, maxColor].
+func CheckColoring(g *Graph, colors []int, maxColor int) error {
+	return graph.CheckColoring(g, colors, maxColor)
+}
+
+// CheckSpanner validates subgraph-ness and stretch on sampled sources.
+func CheckSpanner(g, h *Graph, stretch, samples int, seed uint64) error {
+	return graph.CheckSpanner(g, h, stretch, samples, seed)
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+	"hetmpc/internal/prims"
+	"hetmpc/internal/sketch"
+	"hetmpc/internal/unionfind"
+	"hetmpc/internal/xrand"
+)
+
+// ConnectivityResult is the output of the Appendix C.1 algorithm.
+type ConnectivityResult struct {
+	Labels     []int // per-vertex component label (smallest member id)
+	Components int
+	Phases     int // Borůvka phases executed on the large machine (local)
+	Stats      Stats
+}
+
+// Connectivity identifies the connected components in O(1) rounds
+// (Theorem C.1): the small machines build linear ℓ0-sampling sketches of
+// their shares of each vertex's incidence vector, the sketches are summed by
+// aggregation (Property 1) and shipped to the large machine — O(n polylog n)
+// bits in total — which then runs Borůvka locally, sampling an outgoing edge
+// of each component from the summed sketches of fresh rounds.
+//
+// Shared randomness is a single broadcast seed, replacing [36]'s shared
+// random bits exactly as the paper describes.
+func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
+	before := c.Stats()
+	if !c.HasLarge() {
+		return nil, fmt.Errorf("core: Connectivity requires the large machine")
+	}
+	n := g.N
+	res := &ConnectivityResult{}
+	edges := prims.DistributeEdges(c, g)
+	kk := c.K()
+
+	seed, err := prims.BroadcastSeed(c)
+	if err != nil {
+		return nil, err
+	}
+	phases := int(math.Ceil(math.Log2(float64(n)+2))) + 8
+	universe := int64(n) * int64(n)
+	// Levels beyond log2(support) are always empty: the support of any
+	// sketched vector is at most 2m, so cap the level count there.
+	levels := 2
+	for u := 1; u < 2*len(g.Edges)+2; u <<= 1 {
+		levels++
+	}
+	levels += 2
+	maxLevels := 2
+	for u := int64(1); u < universe; u <<= 1 {
+		maxLevels++
+	}
+	if levels > maxLevels {
+		levels = maxLevels
+	}
+	families := make([]*sketch.Family, phases)
+	for t := range families {
+		families[t] = sketch.NewFamilyLevels(levels, xrand.Split(seed, uint64(t)+1))
+	}
+	skWords := families[0].NewSketch(universe).Words()
+
+	// Small machines: partial sketches per (phase, vertex), merged by
+	// aggregation with the linear Merge combine.
+	items := make([][]prims.KV[*sketch.Sketch], kk)
+	if err := c.ForSmall(func(i int) error {
+		partial := make(map[int64]*sketch.Sketch)
+		for _, e := range edges[i] {
+			for t := 0; t < phases; t++ {
+				for _, v := range [2]int{e.U, e.V} {
+					key := int64(t)*int64(n) + int64(v)
+					s, ok := partial[key]
+					if !ok {
+						s = families[t].NewSketch(universe)
+						partial[key] = s
+					}
+					families[t].AddEdgeIncidence(s, v, e, n)
+				}
+			}
+		}
+		keys := make([]int64, 0, len(partial))
+		for key := range partial {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, key := range keys {
+			items[i] = append(items[i], prims.KV[*sketch.Sketch]{K: key, V: partial[key]})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	combine := func(a, b *sketch.Sketch) *sketch.Sketch {
+		out := a.Clone()
+		if err := out.Merge(b); err != nil {
+			// Same family by construction; a mismatch is a bug.
+			panic(err)
+		}
+		return out
+	}
+	_, atLarge, err := prims.AggregateByKey(c, items, skWords, combine, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Large machine: local Borůvka with fresh sketches per phase.
+	dsu := unionfind.New(n)
+	for t := 0; t < phases; t++ {
+		// Sum member sketches per current component.
+		sums := make(map[int]*sketch.Sketch)
+		for v := 0; v < n; v++ {
+			s, ok := atLarge[int64(t)*int64(n)+int64(v)]
+			if !ok {
+				continue // isolated vertex: no sketch
+			}
+			r := dsu.Find(v)
+			if cur, ok := sums[r]; ok {
+				if err := cur.Merge(s); err != nil {
+					return nil, err
+				}
+			} else {
+				sums[r] = s.Clone()
+			}
+		}
+		roots := make([]int, 0, len(sums))
+		for r := range sums {
+			roots = append(roots, r)
+		}
+		sort.Ints(roots)
+		progress := false
+		allZero := true
+		for _, r := range roots {
+			s := sums[r]
+			if s.IsZero() {
+				continue
+			}
+			allZero = false
+			idx, _, ok := families[t].Query(s)
+			if !ok {
+				continue // sampler failure: retry next phase
+			}
+			u, v := sketch.DecodeEdgeKey(idx, n)
+			if dsu.Union(u, v) {
+				progress = true
+			}
+		}
+		res.Phases++
+		if allZero {
+			break
+		}
+		_ = progress
+	}
+	// Verify completion: any nonzero component sum left means we ran out of
+	// phases (vanishingly unlikely with 2 log n + 6 phases).
+	lastT := res.Phases - 1
+	sums := make(map[int]*sketch.Sketch)
+	for v := 0; v < n; v++ {
+		if s, ok := atLarge[int64(lastT)*int64(n)+int64(v)]; ok {
+			r := dsu.Find(v)
+			if cur, ok := sums[r]; ok {
+				if err := cur.Merge(s); err != nil {
+					return nil, err
+				}
+			} else {
+				sums[r] = s.Clone()
+			}
+		}
+	}
+	for _, s := range sums {
+		if !s.IsZero() {
+			return nil, fmt.Errorf("core: connectivity did not converge in %d phases", phases)
+		}
+	}
+
+	// Labels: smallest member id per component (computed on the large
+	// machine, where the output resides).
+	min := make([]int, n)
+	for i := range min {
+		min[i] = n
+	}
+	for v := 0; v < n; v++ {
+		r := dsu.Find(v)
+		if v < min[r] {
+			min[r] = v
+		}
+	}
+	labels := make([]int, n)
+	for v := 0; v < n; v++ {
+		labels[v] = min[dsu.Find(v)]
+	}
+	res.Labels = labels
+	res.Components = dsu.Count()
+	res.Stats = snapshot(c, before)
+	return res, nil
+}
+
+// MSTApproxResult is the output of the (1+ε)-MST-weight approximation.
+type MSTApproxResult struct {
+	Estimate   int64
+	Thresholds int
+	Stats      Stats
+}
+
+// ApproxMSTWeight estimates the MST weight within (1+ε) (Theorem C.2 /
+// Appendix C.1.1) by the Chazelle-style reduction to connected-component
+// counting: the number of components of the threshold subgraphs G_{≤τ} at
+// geometrically spaced thresholds τ. Each count is one sketch-connectivity
+// run; the thresholds are processed sequentially (DESIGN.md substitution 2).
+// The input must be connected for the estimate to be meaningful (the
+// standard assumption of the reduction).
+func ApproxMSTWeight(c *mpc.Cluster, g *graph.Graph, eps float64) (*MSTApproxResult, error) {
+	before := c.Stats()
+	if eps <= 0 {
+		return nil, fmt.Errorf("core: eps must be positive")
+	}
+	res := &MSTApproxResult{}
+	var maxW int64 = 1
+	for _, e := range g.Edges {
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+	// Thresholds τ_0 = 0 < τ_1 = 1 < ... geometric with ratio (1+ε),
+	// integer, strictly increasing, last ≥ maxW.
+	thresholds := []int64{0}
+	for t := int64(1); t < maxW; {
+		thresholds = append(thresholds, t)
+		nt := int64(math.Ceil(float64(t) * (1 + eps)))
+		if nt <= t {
+			nt = t + 1
+		}
+		t = nt
+	}
+	thresholds = append(thresholds, maxW)
+
+	// MST = Σ_{i=0}^{W-1} (c_i - 1) with c_i = #CC(edges of weight ≤ i);
+	// approximate the sum with the component counts at the thresholds.
+	var est int64
+	for j := 0; j+1 < len(thresholds); j++ {
+		tau := thresholds[j]
+		width := thresholds[j+1] - tau
+		sub := &graph.Graph{N: g.N, Weighted: g.Weighted}
+		for _, e := range g.Edges {
+			if e.W <= tau {
+				sub.Edges = append(sub.Edges, e)
+			}
+		}
+		cc, err := Connectivity(c, sub)
+		if err != nil {
+			return nil, err
+		}
+		est += width * int64(cc.Components-1)
+		res.Thresholds++
+	}
+	res.Estimate = est
+	res.Stats = snapshot(c, before)
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"hetmpc/internal/graph"
+)
+
+func checkConnectivity(t *testing.T, g *graph.Graph, seed uint64) *ConnectivityResult {
+	t.Helper()
+	c := newCluster(t, g.N, g.M(), seed)
+	res, err := Connectivity(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabels, wantCC := graph.Components(g)
+	if res.Components != wantCC {
+		t.Fatalf("components %d, want %d", res.Components, wantCC)
+	}
+	for v := range wantLabels {
+		if res.Labels[v] != wantLabels[v] {
+			t.Fatalf("label of %d: got %d want %d", v, res.Labels[v], wantLabels[v])
+		}
+	}
+	return res
+}
+
+func TestConnectivityVariousTopologies(t *testing.T) {
+	checkConnectivity(t, graph.GNM(96, 300, 3), 5)
+	checkConnectivity(t, graph.Cycles(90, 3, 7), 5)
+	checkConnectivity(t, graph.Grid(8, 12), 5)
+	checkConnectivity(t, graph.Star(64), 5)
+	checkConnectivity(t, graph.Path(80), 5)
+	// Isolated vertices plus a clique.
+	k := graph.Complete(10, false, 1)
+	g := graph.New(30, k.Edges, false)
+	checkConnectivity(t, g, 5)
+	// Empty graph: n components.
+	checkConnectivity(t, graph.New(12, nil, false), 5)
+}
+
+func TestConnectivityManyComponents(t *testing.T) {
+	// 10 small cliques.
+	var edges []graph.Edge
+	for b := 0; b < 10; b++ {
+		base := b * 8
+		for u := 0; u < 8; u++ {
+			for v := u + 1; v < 8; v++ {
+				edges = append(edges, graph.NewEdge(base+u, base+v, 1))
+			}
+		}
+	}
+	g := graph.New(80, edges, false)
+	res := checkConnectivity(t, g, 9)
+	if res.Components != 10 {
+		t.Fatalf("components %d", res.Components)
+	}
+}
+
+func TestConnectivityConstantRounds(t *testing.T) {
+	// The whole point of Theorem C.1: rounds must not grow with n.
+	small := graph.GNM(64, 200, 1)
+	big := graph.GNM(256, 800, 1)
+	cS := newCluster(t, small.N, small.M(), 3)
+	rS, err := Connectivity(cS, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB := newCluster(t, big.N, big.M(), 3)
+	rB, err := Connectivity(cB, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rB.Stats.Rounds > rS.Stats.Rounds+10 {
+		t.Fatalf("rounds grew with n: %d -> %d", rS.Stats.Rounds, rB.Stats.Rounds)
+	}
+	if rB.Stats.Rounds > 60 {
+		t.Fatalf("connectivity used %d rounds", rB.Stats.Rounds)
+	}
+}
+
+func TestConnectivityDeterministic(t *testing.T) {
+	g := graph.GNM(100, 250, 17)
+	a := checkConnectivity(t, g, 7)
+	b := checkConnectivity(t, g, 7)
+	if a.Phases != b.Phases {
+		t.Fatalf("nondeterministic phases: %d vs %d", a.Phases, b.Phases)
+	}
+}
+
+func TestApproxMSTWeight(t *testing.T) {
+	g := graph.ConnectedGNM(64, 400, 11, true)
+	// Compress weights so the threshold count stays small.
+	for i := range g.Edges {
+		g.Edges[i].W = g.Edges[i].W%32 + 1
+	}
+	_, exact := graph.KruskalMSF(g)
+	for _, eps := range []float64{0.5, 0.25} {
+		c := newCluster(t, g.N, g.M(), 3)
+		res, err := ApproxMSTWeight(c, g, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := float64(exact) * 0.9
+		hi := float64(exact) * (1 + eps) * 1.1
+		if float64(res.Estimate) < lo || float64(res.Estimate) > hi {
+			t.Fatalf("eps=%.2f: estimate %d outside [%f, %f] (exact %d)",
+				eps, res.Estimate, lo, hi, exact)
+		}
+	}
+}
+
+func TestApproxMSTTighterEpsIsCloser(t *testing.T) {
+	g := graph.ConnectedGNM(72, 300, 23, true)
+	for i := range g.Edges {
+		g.Edges[i].W = g.Edges[i].W%64 + 1
+	}
+	_, exact := graph.KruskalMSF(g)
+	errAt := func(eps float64) float64 {
+		c := newCluster(t, g.N, g.M(), 5)
+		res, err := ApproxMSTWeight(c, g, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := float64(res.Estimate - exact)
+		if d < 0 {
+			d = -d
+		}
+		return d / float64(exact)
+	}
+	coarse, fine := errAt(1.0), errAt(0.1)
+	if fine > coarse+0.05 {
+		t.Fatalf("finer eps gave worse error: %.3f vs %.3f", fine, coarse)
+	}
+	if fine > 0.2 {
+		t.Fatalf("eps=0.1 error too large: %.3f", fine)
+	}
+}

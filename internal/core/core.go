@@ -1,0 +1,106 @@
+// Package core implements the paper's Heterogeneous MPC algorithms:
+//
+//   - MST in O(log log(m/n)) rounds (§3, Theorem 3.1), via doubly-exponential
+//     Borůvka + KKT sampling + flow-labeling F-light filtering;
+//   - O(k)-spanners of size O(n^{1+1/k}) in O(1) rounds (§4, Theorem 4.1),
+//     via clustering graphs + modified Baswana-Sen, and the APSP
+//     approximation of Corollary 4.2;
+//   - maximal matching (§5, Theorem 5.1 and the filtering variant of
+//     Theorem 5.5);
+//   - the ported near-linear algorithms of Appendix C: connectivity and
+//     (1+ε)-MST via sketches, exact and approximate minimum cut,
+//     MIS in O(log log Δ), and (Δ+1)-coloring in O(1) rounds;
+//   - the 2-vs-1-cycle problem from the introduction.
+//
+// Every algorithm runs entirely through the mpc simulator's Exchange rounds
+// and the prims toolbox; outputs are validated against the exact reference
+// algorithms in internal/graph by the package tests.
+package core
+
+import (
+	"sort"
+
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+)
+
+// cEdge is an edge of the current contracted multigraph: (U, V) are
+// contracted vertex ids, (OU, OV, W) identify the original edge it
+// represents (§3: "together with each edge we also store the original graph
+// edge"). The (W, OU, OV) triple is globally unique, giving the unique-weight
+// tie-breaking the paper assumes.
+type cEdge struct {
+	U, V   int
+	W      int64
+	OU, OV int
+}
+
+const cEdgeWords = 5
+
+// orig returns the original graph edge.
+func (e cEdge) orig() graph.Edge { return graph.NewEdge(e.OU, e.OV, e.W) }
+
+// lessByWeight orders contracted edges by unique weight.
+func (e cEdge) lessByWeight(o cEdge) bool {
+	if e.W != o.W {
+		return e.W < o.W
+	}
+	if e.OU != o.OU {
+		return e.OU < o.OU
+	}
+	return e.OV < o.OV
+}
+
+// pairKey packs an unordered contracted vertex pair into an int64 key.
+func pairKey(u, v, n int) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)*int64(n) + int64(v)
+}
+
+// toCEdges converts distributed graph edges into contracted-edge state.
+func toCEdges(data [][]graph.Edge) [][]cEdge {
+	out := make([][]cEdge, len(data))
+	for i := range data {
+		out[i] = make([]cEdge, 0, len(data[i]))
+		for _, e := range data[i] {
+			out[i] = append(out[i], cEdge{U: e.U, V: e.V, W: e.W, OU: e.U, OV: e.V})
+		}
+	}
+	return out
+}
+
+// distinctEndpoints returns the sorted distinct contracted endpoints of a
+// machine's edges (the dissemination "needs" list).
+func distinctEndpoints(edges []cEdge) []int64 {
+	seen := make(map[int64]bool, 2*len(edges))
+	out := make([]int64, 0, 2*len(edges))
+	for _, e := range edges {
+		for _, v := range [2]int{e.U, e.V} {
+			if !seen[int64(v)] {
+				seen[int64(v)] = true
+				out = append(out, int64(v))
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Stats is the per-run metrics snapshot attached to every algorithm result.
+type Stats struct {
+	Rounds     int
+	Messages   int64
+	TotalWords int64
+}
+
+// snapshot captures the cluster's metrics delta since before.
+func snapshot(c *mpc.Cluster, before mpc.Stats) Stats {
+	now := c.Stats()
+	return Stats{
+		Rounds:     now.Rounds - before.Rounds,
+		Messages:   now.Messages - before.Messages,
+		TotalWords: now.TotalWords - before.TotalWords,
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+)
+
+// TestMSTQuickRandomGraphs property-tests the full distributed MST against
+// Kruskal over random shapes, densities and seeds.
+func TestMSTQuickRandomGraphs(t *testing.T) {
+	prop := func(seed uint64, dense bool) bool {
+		n := 48 + int(seed%64)
+		m := 3 * n
+		if dense {
+			m = 10 * n
+		}
+		g := graph.GNMWeighted(n, m, seed%997)
+		c, err := mpc.New(mpc.Config{N: n, M: g.M(), Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := MST(c, g)
+		if err != nil {
+			return false
+		}
+		return graph.CheckMST(g, res.Edges) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpannerQuick property-tests the spanner: subgraph, connectivity
+// preserved, stretch bound holds on sampled pairs.
+func TestSpannerQuick(t *testing.T) {
+	prop := func(seed uint64, kPick uint8) bool {
+		k := 2 + int(kPick)%3
+		n := 64 + int(seed%32)
+		g := graph.ConnectedGNM(n, 6*n, seed%997, false)
+		c, err := mpc.New(mpc.Config{N: n, M: g.M(), Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := Spanner(c, g, k)
+		if err != nil {
+			return false
+		}
+		h := graph.New(n, res.Edges, false)
+		return graph.CheckSpanner(g, h, res.Stretch, 3, seed) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchingQuick property-tests maximal matching across degree profiles.
+func TestMatchingQuick(t *testing.T) {
+	prop := func(seed uint64, hubby bool) bool {
+		n := 96 + int(seed%64)
+		var g *graph.Graph
+		if hubby {
+			g = graph.PlantedHubs(n, 3, 2, n/2, seed%997)
+		} else {
+			g = graph.GNM(n, 4*n, seed%997)
+		}
+		c, err := mpc.New(mpc.Config{N: n, M: g.M(), Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := MaximalMatching(c, g)
+		if err != nil {
+			return false
+		}
+		return graph.CheckMatching(g, res.Edges, true) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgorithmsOnCompleteGraph(t *testing.T) {
+	// K_n stresses every degree-dependent path (Δ = n-1, m = n(n-1)/2).
+	g := graph.Complete(64, true, 3)
+	c := newCluster(t, g.N, g.M(), 5)
+	mst, err := MST(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckMST(g, mst.Edges); err != nil {
+		t.Fatal(err)
+	}
+	gu := g.Unweighted()
+	c2 := newCluster(t, gu.N, gu.M(), 5)
+	mm, err := MaximalMatching(c2, gu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckMatching(gu, mm.Edges, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.Edges) != 32 {
+		t.Fatalf("K_64 perfect matching has 32 edges, got %d", len(mm.Edges))
+	}
+	c3 := newCluster(t, gu.N, gu.M(), 5)
+	mis, err := MIS(c3, gu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis.Set) != 1 {
+		t.Fatalf("K_64 MIS has 1 vertex, got %d", len(mis.Set))
+	}
+	c4 := newCluster(t, gu.N, gu.M(), 5)
+	sp, err := Spanner(c4, gu, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := graph.New(gu.N, sp.Edges, false)
+	if err := graph.CheckSpanner(gu, h, sp.Stretch, 4, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpannerK1IsWholeGraphSafe(t *testing.T) {
+	// k=1: stretch bound 5; the algorithm must not crash and must produce a
+	// valid (possibly large) spanner.
+	g := graph.ConnectedGNM(80, 400, 7, false)
+	c := newCluster(t, g.N, g.M(), 3)
+	res, err := Spanner(c, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := graph.New(g.N, res.Edges, false)
+	if err := graph.CheckSpanner(g, h, res.Stretch, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaVariants(t *testing.T) {
+	// The model parameter γ changes K and the capacities; algorithms must
+	// work across the range.
+	g := graph.GNMWeighted(128, 1024, 9)
+	for _, gamma := range []float64{0.3, 0.5, 0.7} {
+		c, err := mpc.New(mpc.Config{N: g.N, M: g.M(), Gamma: gamma, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MST(c, g)
+		if err != nil {
+			t.Fatalf("gamma=%.1f: %v", gamma, err)
+		}
+		if err := graph.CheckMST(g, res.Edges); err != nil {
+			t.Fatalf("gamma=%.1f: %v", gamma, err)
+		}
+	}
+}
+
+func TestConnectivityAllIsolated(t *testing.T) {
+	g := graph.New(40, nil, false)
+	c := newCluster(t, g.N, 0, 3)
+	res, err := Connectivity(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 40 {
+		t.Fatalf("components %d, want 40", res.Components)
+	}
+}
+
+func TestMISQuick(t *testing.T) {
+	prop := func(seed uint64) bool {
+		n := 64 + int(seed%48)
+		g := graph.GNM(n, 5*n, seed%997)
+		c, err := mpc.New(mpc.Config{N: n, M: g.M(), Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := MIS(c, g)
+		if err != nil {
+			return false
+		}
+		return graph.CheckMIS(g, res.Set) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColoringQuick(t *testing.T) {
+	prop := func(seed uint64) bool {
+		n := 64 + int(seed%48)
+		g := graph.GNM(n, 4*n, seed%997)
+		c, err := mpc.New(mpc.Config{N: n, M: g.M(), Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := Coloring(c, g)
+		if err != nil {
+			return false
+		}
+		return graph.CheckColoring(g, res.Colors, res.MaxColor) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"hetmpc/internal/graph"
+	"hetmpc/internal/xrand"
+)
+
+// BaswanaSenReference runs the original Baswana-Sen algorithm locally on g
+// (the whole graph as one machine's input) and returns the (2k-1)-spanner.
+// It exists for experiment E6, which compares the original against the
+// paper's modified variant (Figure 1 / Lemma 4.3).
+func BaswanaSenReference(g *graph.Graph, k int, seed uint64) []graph.Edge {
+	verts, ces := graphToClusterEdges(g)
+	return baswanaSenLocal(verts, ces, k, xrand.New(seed))
+}
+
+// ModifiedBaswanaSenReference runs Algorithm 2 locally with edge-sampling
+// probability p (experiment E6).
+func ModifiedBaswanaSenReference(g *graph.Graph, k int, p float64, seed uint64) []graph.Edge {
+	verts, ces := graphToClusterEdges(g)
+	return modifiedBaswanaSenLocal(verts, ces, k, p, xrand.New(seed))
+}
+
+func graphToClusterEdges(g *graph.Graph) ([]int, []clusterEdge) {
+	verts := make([]int, g.N)
+	for i := range verts {
+		verts[i] = i
+	}
+	ces := make([]clusterEdge, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		ces = append(ces, clusterEdge{U: e.U, V: e.V, Orig: e})
+	}
+	return verts, ces
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"hetmpc/internal/core"
+	"hetmpc/internal/graph"
+)
+
+// E16MSTAblation isolates the contribution of each §3 ingredient:
+//
+//   - "full": doubly-exponential budgets + KKT sampling (the paper);
+//   - "budget=2": plain Borůvka budgets with the sampling finish — phases
+//     grow to Θ(log of the contraction target);
+//   - "no sampling": doubly-exponential budgets run to completion — the
+//     final contractions happen against a shrinking vertex set instead of
+//     handing Õ(n) F-light edges to the large machine;
+//   - "budget=2, no sampling": plain distributed Borůvka through the
+//     heterogeneous toolbox, Θ(log n) phases.
+//
+// Every variant must still produce the exact MSF.
+func E16MSTAblation(seed uint64) (*Table, error) {
+	t := &Table{
+		Title:  "E16 — MST ablation (§3 design choices), n=1024 m=2048 (sparse: the sampling step matters)",
+		Header: []string{"variant", "phases", "rounds", "sample tries", "exact"},
+	}
+	n, m := 1024, 2048
+	g := graph.ConnectedGNM(n, m, seed, true)
+	_, want := graph.KruskalMSF(g)
+	variants := []struct {
+		name string
+		opts core.MSTOptions
+	}{
+		{"full (paper)", core.MSTOptions{}},
+		{"budget=2", core.MSTOptions{FixedBudget: 2}},
+		{"no sampling", core.MSTOptions{DisableSampling: true}},
+		{"budget=2, no sampling", core.MSTOptions{FixedBudget: 2, DisableSampling: true}},
+	}
+	for _, v := range variants {
+		c, err := newHet(n, m, 0, seed)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.MSTWithOptions(c, g, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		exact := "yes"
+		if r.Weight != want {
+			exact = "NO"
+		}
+		if err := graph.CheckMST(g, r.Edges); err != nil {
+			exact = err.Error()
+		}
+		t.AddRow(v.name, r.BoruvkaPhases, r.Stats.Rounds, r.SampleTries, exact)
+	}
+	t.Notes = append(t.Notes,
+		"disabling the KKT sampling step costs extra contraction phases (the tail the sampling removes)",
+		"budget=2 matches the doubly-exponential schedule at laptop scales because the budgeted local merging already over-achieves; the schedules separate only when log(m/n) >> loglog(m/n)")
+	return t, nil
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x,y", "q\"z")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a ", "bb", "2.5", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tab.RenderCSV(&buf)
+	csv := buf.String()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""z"`) {
+		t.Fatalf("CSV escaping broken:\n%s", csv)
+	}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	all := All()
+	for _, id := range Order() {
+		if all[id] == nil {
+			t.Fatalf("experiment %q in Order but not registered", id)
+		}
+	}
+	if len(all) != len(Order()) {
+		t.Fatalf("registry size %d != order size %d", len(all), len(Order()))
+	}
+}
+
+// TestExperimentsExecute runs every experiment end to end (each validates
+// its own outputs against the exact references and returns an error on any
+// mismatch). The heavy ones are skipped with -short.
+func TestExperimentsExecute(t *testing.T) {
+	light := map[string]bool{"e4": true, "e6": true, "e10": true, "e11": true, "e15": true}
+	for _, id := range Order() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && !light[id] {
+				t.Skip("heavy experiment skipped in -short mode")
+			}
+			tab, err := All()[id](7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			t.Log("\n" + buf.String())
+		})
+	}
+}

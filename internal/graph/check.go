@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"hetmpc/internal/unionfind"
+	"hetmpc/internal/xrand"
+)
+
+// CheckSpanningForest verifies that treeEdges is a spanning forest of g:
+// every edge exists in g, the edge set is acyclic, and it connects exactly
+// what g connects. Returns nil on success.
+func CheckSpanningForest(g *Graph, treeEdges []Edge) error {
+	present := make(map[int64]Edge, len(g.Edges))
+	for _, e := range g.Edges {
+		present[e.Key(g.N)] = e
+	}
+	dsu := unionfind.New(g.N)
+	for _, e := range treeEdges {
+		e = NewEdge(e.U, e.V, e.W)
+		orig, ok := present[e.Key(g.N)]
+		if !ok {
+			return fmt.Errorf("tree edge %v not in graph", e)
+		}
+		if orig.W != e.W {
+			return fmt.Errorf("tree edge %v has weight %d in graph", e, orig.W)
+		}
+		if !dsu.Union(e.U, e.V) {
+			return fmt.Errorf("tree edge %v closes a cycle", e)
+		}
+	}
+	_, cc := Components(g)
+	if dsu.Count() != cc {
+		return fmt.Errorf("forest has %d components, graph has %d", dsu.Count(), cc)
+	}
+	return nil
+}
+
+// CheckMST verifies that treeEdges is a minimum spanning forest of g by
+// comparing total weight with Kruskal (weights are effectively unique under
+// tie-breaking, so weight equality implies the same forest).
+func CheckMST(g *Graph, treeEdges []Edge) error {
+	if err := CheckSpanningForest(g, treeEdges); err != nil {
+		return err
+	}
+	_, want := KruskalMSF(g)
+	var got int64
+	for _, e := range treeEdges {
+		got += e.W
+	}
+	if got != want {
+		return fmt.Errorf("forest weight %d != MSF weight %d", got, want)
+	}
+	return nil
+}
+
+// CheckMatching verifies that match is a matching in g (edges exist, no
+// shared endpoints). If maximal is true it additionally verifies maximality:
+// no remaining edge has both endpoints unmatched.
+func CheckMatching(g *Graph, match []Edge, maximal bool) error {
+	present := make(map[int64]bool, len(g.Edges))
+	for _, e := range g.Edges {
+		present[e.Key(g.N)] = true
+	}
+	used := make([]bool, g.N)
+	for _, e := range match {
+		e = NewEdge(e.U, e.V, e.W)
+		if !present[e.Key(g.N)] {
+			return fmt.Errorf("matching edge %v not in graph", e)
+		}
+		if used[e.U] || used[e.V] {
+			return fmt.Errorf("matching edge %v shares an endpoint", e)
+		}
+		used[e.U] = true
+		used[e.V] = true
+	}
+	if maximal {
+		for _, e := range g.Edges {
+			if !used[e.U] && !used[e.V] {
+				return fmt.Errorf("edge %v has both endpoints unmatched", e)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMIS verifies that set is a maximal independent set of g.
+func CheckMIS(g *Graph, set []int) error {
+	in := make([]bool, g.N)
+	for _, v := range set {
+		if v < 0 || v >= g.N {
+			return fmt.Errorf("vertex %d out of range", v)
+		}
+		in[v] = true
+	}
+	covered := make([]bool, g.N)
+	copy(covered, in)
+	for _, e := range g.Edges {
+		if in[e.U] && in[e.V] {
+			return fmt.Errorf("edge %v inside the set", e)
+		}
+		if in[e.U] {
+			covered[e.V] = true
+		}
+		if in[e.V] {
+			covered[e.U] = true
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		if !covered[v] {
+			return fmt.Errorf("vertex %d neither in the set nor dominated", v)
+		}
+	}
+	return nil
+}
+
+// CheckColoring verifies that colors is a proper coloring of g using colors
+// 0..maxColor inclusive.
+func CheckColoring(g *Graph, colors []int, maxColor int) error {
+	if len(colors) != g.N {
+		return fmt.Errorf("got %d colors for %d vertices", len(colors), g.N)
+	}
+	for v, c := range colors {
+		if c < 0 || c > maxColor {
+			return fmt.Errorf("vertex %d has color %d outside [0,%d]", v, c, maxColor)
+		}
+	}
+	for _, e := range g.Edges {
+		if colors[e.U] == colors[e.V] {
+			return fmt.Errorf("edge %v is monochromatic (color %d)", e, colors[e.U])
+		}
+	}
+	return nil
+}
+
+// CheckSpanner verifies that h is a subgraph of g and that for `samples`
+// random source vertices, every distance in h is at most stretch times the
+// distance in g (BFS for unweighted, Dijkstra for weighted). It also checks
+// that h preserves g's connectivity exactly.
+func CheckSpanner(g, h *Graph, stretch int, samples int, seed uint64) error {
+	present := make(map[int64]bool, len(g.Edges))
+	for _, e := range g.Edges {
+		present[e.Key(g.N)] = true
+	}
+	for _, e := range h.Edges {
+		if !present[NewEdge(e.U, e.V, e.W).Key(g.N)] {
+			return fmt.Errorf("spanner edge %v not in graph", e)
+		}
+	}
+	_, ccG := Components(g)
+	_, ccH := Components(h)
+	if ccG != ccH {
+		return fmt.Errorf("spanner has %d components, graph has %d", ccH, ccG)
+	}
+	adjG, adjH := g.Adj(), h.Adj()
+	rng := xrand.New(seed)
+	for s := 0; s < samples; s++ {
+		src := rng.IntN(g.N)
+		if g.Weighted {
+			dg, dh := DijkstraDist(adjG, src), DijkstraDist(adjH, src)
+			for v := range dg {
+				if dg[v] == math.MaxInt64 {
+					continue
+				}
+				if dh[v] == math.MaxInt64 || dh[v] > int64(stretch)*dg[v] {
+					return fmt.Errorf("stretch violated: d_G(%d,%d)=%d d_H=%d limit %dx", src, v, dg[v], dh[v], stretch)
+				}
+			}
+		} else {
+			dg, dh := BFSDist(adjG, src), BFSDist(adjH, src)
+			for v := range dg {
+				if dg[v] == math.MaxInt {
+					continue
+				}
+				if dh[v] == math.MaxInt || dh[v] > stretch*dg[v] {
+					return fmt.Errorf("stretch violated: d_G(%d,%d)=%d d_H=%d limit %dx", src, v, dg[v], dh[v], stretch)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package labeling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetmpc/internal/graph"
+	"hetmpc/internal/xrand"
+)
+
+// refPathMax returns the heaviest edge on the u-v path of the forest, using
+// BFS, or connected=false.
+func refPathMax(n int, treeEdges []graph.Edge, u, v int) (graph.Edge, bool) {
+	adj := make([][]graph.Half, n)
+	for _, e := range treeEdges {
+		adj[e.U] = append(adj[e.U], graph.Half{To: e.V, W: e.W})
+		adj[e.V] = append(adj[e.V], graph.Half{To: e.U, W: e.W})
+	}
+	type st struct {
+		v   int
+		max graph.Edge
+	}
+	seen := make([]bool, n)
+	seen[u] = true
+	queue := []st{{v: u}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.v == v {
+			return cur.max, true
+		}
+		for _, h := range adj[cur.v] {
+			if seen[h.To] {
+				continue
+			}
+			seen[h.To] = true
+			e := graph.NewEdge(cur.v, h.To, h.W)
+			m := cur.max
+			if m.W == 0 || m.Less(e) {
+				m = e
+			}
+			queue = append(queue, st{v: h.To, max: m})
+		}
+	}
+	return graph.Edge{}, false
+}
+
+func randomForest(n int, trees int, seed uint64) []graph.Edge {
+	rng := xrand.New(seed)
+	edges := make([]graph.Edge, 0, n)
+	// Random recursive forest: vertex v attaches to a random earlier vertex
+	// unless chosen as a new root.
+	roots := 1
+	for v := 1; v < n; v++ {
+		if roots < trees && rng.IntN(n/trees) == 0 {
+			roots++
+			continue
+		}
+		u := rng.IntN(v)
+		edges = append(edges, graph.NewEdge(u, v, int64(rng.IntN(1000))+1))
+	}
+	return edges
+}
+
+func TestDecodeMatchesBFSOnPath(t *testing.T) {
+	// Deterministic path with increasing then decreasing weights.
+	n := 16
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		w := int64(v + 1)
+		if v >= n/2 {
+			w = int64(n - v)
+		}
+		edges = append(edges, graph.NewEdge(v, v+1, w))
+	}
+	labels := Build(n, edges)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			got, ok := Decode(labels[u], labels[v])
+			want, wok := refPathMax(n, edges, u, v)
+			if !ok || !wok {
+				t.Fatalf("path: %d-%d reported disconnected", u, v)
+			}
+			if got != want {
+				t.Fatalf("path max %d-%d: got %v want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestDecodeRandomForests(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		n := 60
+		edges := randomForest(n, 3, seed)
+		labels := Build(n, edges)
+		rng := xrand.New(seed + 100)
+		for trial := 0; trial < 300; trial++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u == v {
+				continue
+			}
+			got, ok := Decode(labels[u], labels[v])
+			want, wok := refPathMax(n, edges, u, v)
+			if ok != wok {
+				t.Fatalf("seed %d: connectivity of %d,%d: got %v want %v", seed, u, v, ok, wok)
+			}
+			if ok && got != want {
+				t.Fatalf("seed %d: path max %d-%d: got %v want %v", seed, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestLabelSizeLogarithmic(t *testing.T) {
+	// Labels must have O(log n) entries; a path is the worst case for naive
+	// schemes but centroid decomposition keeps it logarithmic.
+	n := 1024
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, graph.NewEdge(v, v+1, int64(v)+1))
+	}
+	labels := Build(n, edges)
+	limit := int(math.Log2(float64(n))) + 2
+	for v, l := range labels {
+		if len(l) > limit {
+			t.Fatalf("label of %d has %d entries > %d", v, len(l), limit)
+		}
+		if len(l) == 0 {
+			t.Fatalf("vertex %d has empty label", v)
+		}
+	}
+}
+
+func TestIsolatedAndSingleton(t *testing.T) {
+	labels := Build(3, nil)
+	for v := 0; v < 3; v++ {
+		if len(labels[v]) != 1 {
+			t.Fatalf("isolated vertex %d label %v", v, labels[v])
+		}
+	}
+	if _, ok := Decode(labels[0], labels[1]); ok {
+		t.Fatal("isolated vertices decoded as connected")
+	}
+	if _, ok := Decode(labels[0], labels[0]); !ok {
+		t.Fatal("vertex not connected to itself")
+	}
+}
+
+func TestFLightMatchesDefinition(t *testing.T) {
+	// Build an MSF F of a random graph; an edge is F-light iff it is in the
+	// MSF or it would replace a heavier path edge. Cross-check FLight against
+	// the direct definition via refPathMax.
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := graph.GNMWeighted(40, 120, seed)
+		msf, _ := graph.KruskalMSF(g)
+		labels := Build(g.N, msf)
+		for _, e := range g.Edges {
+			pathMax, connected := refPathMax(g.N, msf, e.U, e.V)
+			wantLight := !connected || !pathMax.Less(e)
+			if got := FLight(e, labels[e.U], labels[e.V]); got != wantLight {
+				t.Fatalf("seed %d: FLight(%v) = %v, want %v", seed, e, got, wantLight)
+			}
+		}
+		// KKT sanity: every MSF edge must be F-light w.r.t. its own forest.
+		for _, e := range msf {
+			if !FLight(e, labels[e.U], labels[e.V]) {
+				t.Fatalf("MSF edge %v classified F-heavy", e)
+			}
+		}
+	}
+}
+
+func TestMSTContainedInFLightEdges(t *testing.T) {
+	// Fundamental KKT property used by §3: no F-heavy edge is in the MST of
+	// the full graph, for any forest F of any subgraph.
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := graph.GNMWeighted(30, 200, seed)
+		// F = MSF of a random half of the edges.
+		rng := xrand.New(seed)
+		sub := make([]graph.Edge, 0, len(g.Edges)/2)
+		for _, e := range g.Edges {
+			if rng.IntN(2) == 0 {
+				sub = append(sub, e)
+			}
+		}
+		f, _ := graph.KruskalMSF(graph.New(g.N, sub, true))
+		labels := Build(g.N, f)
+		mst, _ := graph.KruskalMSF(g)
+		for _, e := range mst {
+			if !FLight(e, labels[e.U], labels[e.V]) {
+				t.Fatalf("seed %d: MST edge %v classified F-heavy", seed, e)
+			}
+		}
+	}
+}
+
+func TestWordsAccounting(t *testing.T) {
+	l := Label{{Centroid: 1, Level: 0}, {Centroid: 2, Level: 1}}
+	if l.Words() != 9 {
+		t.Fatalf("Words = %d, want 9", l.Words())
+	}
+}
+
+func TestQuickRandomTrees(t *testing.T) {
+	prop := func(seed uint64) bool {
+		n := 24
+		edges := randomForest(n, 2, seed%512)
+		labels := Build(n, edges)
+		rng := xrand.New(seed)
+		for i := 0; i < 20; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			got, ok := Decode(labels[u], labels[v])
+			want, wok := refPathMax(n, edges, u, v)
+			if ok != wok || (ok && u != v && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package mpc implements the Heterogeneous MPC model of the paper (§2) as an
+// executable simulator:
+//
+//   - one large machine with memory O(n^{1+f} polylog n) words (f = 0 is the
+//     near-linear setting studied in most of the paper; f > 0 enables the
+//     superlinear variants of Theorems 3.1 and 5.5; the large machine can
+//     also be disabled entirely, giving the pure sublinear regime used by
+//     the baseline algorithms);
+//   - K = ⌈m/n^γ⌉ small machines, each with memory O(n^γ polylog n) words;
+//   - computation proceeds in synchronous rounds; in each round every
+//     machine may send and receive at most as many words as its capacity.
+//
+// The simulator enforces the per-round send/receive caps exactly (violations
+// are errors, never silent), counts rounds and traffic, runs per-machine
+// local computation on goroutines, and gives each machine a private,
+// deterministic PRNG. One word models one O(log n)-bit quantity (a vertex
+// id, a weight, a counter).
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"hetmpc/internal/xrand"
+)
+
+// Large is the machine id of the large machine. Small machines are 0..K-1.
+const Large = -1
+
+// ErrCapacity is wrapped by all communication- and memory-cap violations.
+var ErrCapacity = errors.New("mpc: capacity exceeded")
+
+// ErrRounds is returned when a run exceeds the configured round budget
+// (a safety valve against non-terminating algorithms).
+var ErrRounds = errors.New("mpc: round budget exhausted")
+
+// Msg is one point-to-point message. Words is the accounted size; Data is
+// the payload (typed per algorithm and asserted on receipt).
+type Msg struct {
+	From  int
+	To    int
+	Words int
+	Data  any
+}
+
+// Config parameterizes a cluster. The zero value is not valid; use the
+// documented defaults via New.
+type Config struct {
+	N     int     // number of vertices of the input graph
+	M     int     // number of edges of the input graph
+	Gamma float64 // small-machine memory exponent γ ∈ (0,1); default 0.5
+	F     float64 // extra large-machine exponent f ≥ 0; default 0 (near-linear)
+	K     int     // number of small machines; 0 derives ⌈m/n^γ⌉ (min 2)
+
+	// Capacity formula constants: capacity = C · n^exp · ⌈log2 n⌉^LogExp.
+	// The paper's Õ hides these; defaults (6, 3) and (8, 3) are generous
+	// enough for every algorithm here — the binding case is the per-vertex
+	// sketch volume of Appendix C.1, Θ(log² n) words per vertex incidence —
+	// while still being Õ(n^γ) and Õ(n^{1+f}).
+	CSmall      float64
+	CLarge      float64
+	LogExpSmall int
+	LogExpLarge int
+
+	NoLarge   bool   // pure sublinear cluster (baselines)
+	Seed      uint64 // master seed; all machine PRNGs derive from it
+	MaxRounds int    // safety valve; default 100000
+}
+
+// Stats accumulates run metrics.
+type Stats struct {
+	Rounds       int
+	Messages     int64
+	TotalWords   int64
+	MaxSendWords int // max words sent by one machine in one round
+	MaxRecvWords int // max words received by one machine in one round
+}
+
+// Cluster is a running heterogeneous MPC system.
+type Cluster struct {
+	cfg      Config
+	k        int
+	smallCap int
+	largeCap int
+	rngs     []*rand.Rand
+	largeRng *rand.Rand
+	stats    Stats
+}
+
+// New validates cfg, fills defaults and returns a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("mpc: need N >= 2, got %d", cfg.N)
+	}
+	if cfg.M < 0 {
+		return nil, fmt.Errorf("mpc: negative M")
+	}
+	if cfg.Gamma == 0 {
+		cfg.Gamma = 0.5
+	}
+	if cfg.Gamma <= 0 || cfg.Gamma >= 1 {
+		return nil, fmt.Errorf("mpc: gamma must be in (0,1), got %f", cfg.Gamma)
+	}
+	if cfg.F < 0 {
+		return nil, fmt.Errorf("mpc: negative f")
+	}
+	if cfg.CSmall == 0 {
+		cfg.CSmall = 6
+	}
+	if cfg.CLarge == 0 {
+		cfg.CLarge = 8
+	}
+	if cfg.LogExpSmall == 0 {
+		cfg.LogExpSmall = 3
+	}
+	if cfg.LogExpLarge == 0 {
+		cfg.LogExpLarge = 3
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 100000
+	}
+	log2n := 1
+	for v := cfg.N; v > 1; v >>= 1 {
+		log2n++
+	}
+	polyS := ipow(log2n, cfg.LogExpSmall)
+	polyL := ipow(log2n, cfg.LogExpLarge)
+	smallCap := int(cfg.CSmall * math.Pow(float64(cfg.N), cfg.Gamma) * float64(polyS))
+	largeCap := int(cfg.CLarge * math.Pow(float64(cfg.N), 1+cfg.F) * float64(polyL))
+	k := cfg.K
+	if k == 0 {
+		k = int(math.Ceil(float64(cfg.M) / math.Pow(float64(cfg.N), cfg.Gamma)))
+	}
+	if k < 2 {
+		k = 2
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		k:        k,
+		smallCap: smallCap,
+		largeCap: largeCap,
+		rngs:     make([]*rand.Rand, k),
+		largeRng: xrand.New(xrand.Split(cfg.Seed, 0)),
+	}
+	for i := range c.rngs {
+		c.rngs[i] = xrand.New(xrand.Split(cfg.Seed, uint64(i)+1))
+	}
+	if !cfg.NoLarge && largeCap < 4*k {
+		return nil, fmt.Errorf("mpc: out of the model envelope: large capacity %d cannot address K=%d machines", largeCap, k)
+	}
+	return c, nil
+}
+
+// K returns the number of small machines.
+func (c *Cluster) K() int { return c.k }
+
+// N returns the configured vertex count.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// SmallCap returns the per-round/word capacity of a small machine.
+func (c *Cluster) SmallCap() int { return c.smallCap }
+
+// LargeCap returns the per-round/word capacity of the large machine.
+func (c *Cluster) LargeCap() int { return c.largeCap }
+
+// HasLarge reports whether the cluster includes the large machine.
+func (c *Cluster) HasLarge() bool { return !c.cfg.NoLarge }
+
+// Gamma returns the small-machine memory exponent.
+func (c *Cluster) Gamma() float64 { return c.cfg.Gamma }
+
+// F returns the large machine's extra memory exponent (0 = near-linear).
+func (c *Cluster) F() float64 { return c.cfg.F }
+
+// Seed returns the master seed of the cluster.
+func (c *Cluster) Seed() uint64 { return c.cfg.Seed }
+
+// Stats returns the accumulated run metrics.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Rounds returns the number of communication rounds executed so far.
+func (c *Cluster) Rounds() int { return c.stats.Rounds }
+
+// ResetStats zeroes the metrics (capacities are unchanged).
+func (c *Cluster) ResetStats() { c.stats = Stats{} }
+
+// Rand returns small machine i's private PRNG.
+func (c *Cluster) Rand(i int) *rand.Rand { return c.rngs[i] }
+
+// LargeRand returns the large machine's private PRNG.
+func (c *Cluster) LargeRand() *rand.Rand { return c.largeRng }
+
+// cap returns the capacity of machine id.
+func (c *Cluster) capOf(id int) int {
+	if id == Large {
+		return c.largeCap
+	}
+	return c.smallCap
+}
+
+// Exchange executes one synchronous communication round. outs[i] holds the
+// messages sent by small machine i (outs may be nil or shorter than K for
+// rounds where few machines speak); outLarge holds the large machine's
+// messages. It returns the delivered inboxes. Send and receive volumes are
+// checked against the per-machine capacities.
+func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge []Msg, err error) {
+	if c.stats.Rounds >= c.cfg.MaxRounds {
+		return nil, nil, fmt.Errorf("%w: %d rounds", ErrRounds, c.stats.Rounds)
+	}
+	c.stats.Rounds++
+	ins = make([][]Msg, c.k)
+	recvWords := make([]int, c.k)
+	recvLarge := 0
+
+	deliver := func(from int, msgs []Msg) error {
+		words := 0
+		for i := range msgs {
+			m := &msgs[i]
+			m.From = from
+			words += m.Words
+			if m.To == Large {
+				if !c.HasLarge() {
+					return fmt.Errorf("mpc: machine %d sent to the large machine but the cluster has none", from)
+				}
+				recvLarge += m.Words
+				if recvLarge > c.largeCap {
+					return fmt.Errorf("%w: large machine received > %d words in round %d", ErrCapacity, c.largeCap, c.stats.Rounds)
+				}
+				inLarge = append(inLarge, *m)
+				continue
+			}
+			if m.To < 0 || m.To >= c.k {
+				return fmt.Errorf("mpc: machine %d sent to invalid machine %d", from, m.To)
+			}
+			recvWords[m.To] += m.Words
+			if recvWords[m.To] > c.smallCap {
+				return fmt.Errorf("%w: machine %d received > %d words in round %d", ErrCapacity, m.To, c.smallCap, c.stats.Rounds)
+			}
+			ins[m.To] = append(ins[m.To], *m)
+		}
+		if words > c.capOf(from) {
+			return fmt.Errorf("%w: machine %d sent %d > %d words in round %d", ErrCapacity, from, words, c.capOf(from), c.stats.Rounds)
+		}
+		if words > c.stats.MaxSendWords {
+			c.stats.MaxSendWords = words
+		}
+		c.stats.Messages += int64(len(msgs))
+		c.stats.TotalWords += int64(words)
+		return nil
+	}
+
+	// Deterministic delivery order: large machine first, then small 0..K-1.
+	if len(outLarge) > 0 {
+		if !c.HasLarge() {
+			return nil, nil, errors.New("mpc: outLarge non-empty but the cluster has no large machine")
+		}
+		if err := deliver(Large, outLarge); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i := 0; i < len(outs) && i < c.k; i++ {
+		if len(outs[i]) == 0 {
+			continue
+		}
+		if err := deliver(i, outs[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, w := range recvWords {
+		if w > c.stats.MaxRecvWords {
+			c.stats.MaxRecvWords = w
+		}
+	}
+	if recvLarge > c.stats.MaxRecvWords {
+		c.stats.MaxRecvWords = recvLarge
+	}
+	return ins, inLarge, nil
+}
+
+func ipow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}

@@ -1,0 +1,62 @@
+package mpc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForSmall runs fn(i) for every small machine i, distributing the calls over
+// a bounded pool of goroutines (the simulator's stand-in for the machines
+// computing locally in parallel between rounds). fn must only touch machine
+// i's state. The first error aborts scheduling of new work and is returned;
+// all started goroutines are waited for before returning.
+func (c *Cluster) ForSmall(fn func(i int) error) error {
+	return parallelN(c.k, fn)
+}
+
+// parallelN runs fn(0..n-1) on a bounded worker pool and returns the first
+// error encountered.
+func parallelN(n int, fn func(i int) error) error {
+	workers := 2*runtime.GOMAXPROCS(0) + 2
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

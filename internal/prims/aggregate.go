@@ -1,0 +1,204 @@
+package prims
+
+import (
+	"fmt"
+
+	"hetmpc/internal/mpc"
+)
+
+// AggregateByKey implements Claim 2: items (key, value) spread over the
+// small machines are combined per key with the aggregation function
+// `combine`. The protocol is: local combine → sort partials by key → detect
+// runs that span machine boundaries → combine up a capacity-bounded tree per
+// spanning run. Afterwards each key's final value is held by the first
+// machine of its run ("M_first(key)" in the paper); roots[i] maps the keys
+// finalized at machine i.
+//
+// If gatherLarge is true an extra round ships every (key, value) to the
+// large machine and atLarge holds them all; the caller is responsible for
+// the total fitting the large machine's capacity (≤ Õ(n) keys, as in every
+// use in the paper).
+//
+// combine must be associative and commutative. vwords is the value size in
+// words.
+func AggregateByKey[V any](
+	c *mpc.Cluster,
+	items [][]KV[V],
+	vwords int,
+	combine func(a, b V) V,
+	gatherLarge bool,
+) (roots []map[int64]V, atLarge map[int64]V, err error) {
+	k := c.K()
+	if len(items) < k {
+		ni := make([][]KV[V], k)
+		copy(ni, items)
+		items = ni
+	}
+
+	// Local combine.
+	partials := make([][]KV[V], k)
+	if err := c.ForSmall(func(i int) error {
+		m := make(map[int64]V, len(items[i]))
+		for _, kv := range items[i] {
+			if cur, ok := m[kv.K]; ok {
+				m[kv.K] = combine(cur, kv.V)
+			} else {
+				m[kv.K] = kv.V
+			}
+		}
+		out := make([]KV[V], 0, len(m))
+		for key, v := range m {
+			out = append(out, KV[V]{K: key, V: v})
+		}
+		sortKVs(out)
+		partials[i] = out
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Global sort by key.
+	sorted, err := Sort(c, partials, vwords+1, func(kv KV[V]) SortKey { return SortKey{A: kv.K} })
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Local combine of same-key runs that were routed to the same machine.
+	if err := c.ForSmall(func(i int) error {
+		in := sorted[i]
+		out := in[:0]
+		for j := 0; j < len(in); j++ {
+			if len(out) > 0 && out[len(out)-1].K == in[j].K {
+				out[len(out)-1].V = combine(out[len(out)-1].V, in[j].V)
+			} else {
+				out = append(out, in[j])
+			}
+		}
+		sorted[i] = out
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Boundary reports → spanning runs.
+	spans, err := reportBounds(c, func(i int) boundsReport {
+		if len(sorted[i]) == 0 {
+			return boundsReport{}
+		}
+		return boundsReport{First: sorted[i][0].K, Last: sorted[i][len(sorted[i])-1].K, NonEmpty: true}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	instr, err := sendSpanInstructions(c, spans)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Tree-combine each spanning run upward, level by level. The branching
+	// factor is capacity-bounded (the concrete form of the paper's
+	// branching-n^γ trees) and the depth loop is over the public bound
+	// treeDepth(K, b), so the round count depends only on public parameters.
+	b := branching(c, vwords+1)
+	depth := treeDepth(k, b)
+	// Per machine: value for each spanning key it participates in.
+	local := make([]map[int64]V, k)
+	for i := 0; i < k; i++ {
+		local[i] = make(map[int64]V, len(instr[i]))
+		for _, kv := range sorted[i] {
+			for _, si := range instr[i] {
+				if si.Key == kv.K {
+					local[i][kv.K] = kv.V
+				}
+			}
+		}
+	}
+	type upMsg struct {
+		Key int64
+		Val V
+	}
+	for d := depth; d >= 1; d-- {
+		outs := make([][]mpc.Msg, k)
+		for i := 0; i < k; i++ {
+			for _, si := range instr[i] {
+				p := i - si.A
+				size := si.B - si.A + 1
+				if p <= 0 || p >= size || posDepth(p, b) != d {
+					continue
+				}
+				v, ok := local[i][si.Key]
+				if !ok {
+					continue // empty bridge machine: nothing to contribute
+				}
+				parent := si.A + posParent(p, b)
+				outs[i] = append(outs[i], mpc.Msg{To: parent, Words: vwords + 1, Data: upMsg{Key: si.Key, Val: v}})
+				delete(local[i], si.Key)
+			}
+		}
+		ins, _, err := c.Exchange(outs, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, inbox := range ins {
+			for _, m := range inbox {
+				um, ok := m.Data.(upMsg)
+				if !ok {
+					return nil, nil, fmt.Errorf("prims: unexpected aggregate payload %T", m.Data)
+				}
+				if cur, ok := local[i][um.Key]; ok {
+					local[i][um.Key] = combine(cur, um.Val)
+				} else {
+					local[i][um.Key] = um.Val
+				}
+			}
+		}
+	}
+
+	// Assemble per-machine final maps: all non-spanning keys plus spanning
+	// keys rooted here.
+	spanKey := make([]map[int64]bool, k)
+	for i := 0; i < k; i++ {
+		spanKey[i] = make(map[int64]bool, len(instr[i]))
+		for _, si := range instr[i] {
+			spanKey[i][si.Key] = true
+		}
+	}
+	roots = make([]map[int64]V, k)
+	for i := 0; i < k; i++ {
+		roots[i] = make(map[int64]V, len(sorted[i]))
+		for _, kv := range sorted[i] {
+			if !spanKey[i][kv.K] {
+				roots[i][kv.K] = kv.V
+			}
+		}
+		for _, si := range instr[i] {
+			if si.A != i {
+				continue
+			}
+			if v, ok := local[i][si.Key]; ok {
+				roots[i][si.Key] = v
+			}
+		}
+	}
+
+	if !gatherLarge {
+		return roots, nil, nil
+	}
+	flat := make([][]KV[V], k)
+	for i := 0; i < k; i++ {
+		flat[i] = make([]KV[V], 0, len(roots[i]))
+		for key, v := range roots[i] {
+			flat[i] = append(flat[i], KV[V]{K: key, V: v})
+		}
+		sortKVs(flat[i])
+	}
+	all, err := GatherToLarge(c, flat, vwords+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	atLarge = make(map[int64]V, len(all))
+	for _, kv := range all {
+		atLarge[kv.K] = kv.V
+	}
+	return roots, atLarge, nil
+}

@@ -1,0 +1,45 @@
+package prims
+
+import (
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+)
+
+// EdgeWords is the accounted size of one undirected edge (two endpoints and
+// a weight).
+const EdgeWords = 3
+
+// DistributeEdges places the input graph's edges on the small machines
+// round-robin. This models the paper's "edges initially stored on the small
+// machines arbitrarily" and costs no rounds (it is the input placement).
+func DistributeEdges(c *mpc.Cluster, g *graph.Graph) [][]graph.Edge {
+	k := c.K()
+	per := (len(g.Edges) + k - 1) / k
+	out := make([][]graph.Edge, k)
+	for i := range out {
+		out[i] = make([]graph.Edge, 0, per)
+	}
+	for j, e := range g.Edges {
+		out[j%k] = append(out[j%k], e)
+	}
+	return out
+}
+
+// CountItems returns the total number of items across machines.
+func CountItems[T any](data [][]T) int {
+	n := 0
+	for i := range data {
+		n += len(data[i])
+	}
+	return n
+}
+
+// Flatten concatenates all machines' items (a test/validation helper; real
+// algorithms never do this outside the model).
+func Flatten[T any](data [][]T) []T {
+	out := make([]T, 0, CountItems(data))
+	for i := range data {
+		out = append(out, data[i]...)
+	}
+	return out
+}

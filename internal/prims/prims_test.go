@@ -1,0 +1,451 @@
+package prims
+
+import (
+	"sort"
+	"testing"
+
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+	"hetmpc/internal/xrand"
+)
+
+func newCluster(t *testing.T, n, m int, noLarge bool) *mpc.Cluster {
+	t.Helper()
+	c, err := mpc.New(mpc.Config{N: n, M: m, Seed: 42, NoLarge: noLarge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChainSpans(t *testing.T) {
+	b := func(first, last int64) boundsReport {
+		return boundsReport{First: first, Last: last, NonEmpty: true}
+	}
+	empty := boundsReport{}
+	cases := []struct {
+		name   string
+		bounds []boundsReport
+		want   []span
+	}{
+		{"disjoint", []boundsReport{b(1, 3), b(4, 6), b(7, 9)}, nil},
+		{"one-span", []boundsReport{b(1, 5), b(5, 9)}, []span{{5, 0, 1}}},
+		{"long-span", []boundsReport{b(1, 5), b(5, 5), b(5, 9)}, []span{{5, 0, 2}}},
+		{"bridged-empty", []boundsReport{b(1, 5), empty, b(5, 9)}, []span{{5, 0, 2}}},
+		{"not-bridged", []boundsReport{b(1, 5), empty, b(6, 9)}, nil},
+		{"two-spans", []boundsReport{b(1, 2), b(2, 7), b(7, 9)}, []span{{2, 0, 1}, {7, 1, 2}}},
+		{"back-to-back", []boundsReport{b(2, 2), b(2, 7), b(7, 7), b(7, 8)}, []span{{2, 0, 1}, {7, 1, 3}}},
+		{"all-one-key", []boundsReport{b(3, 3), b(3, 3), b(3, 3)}, []span{{3, 0, 2}}},
+	}
+	for _, tc := range cases {
+		got := chainSpans(tc.bounds)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: got %v want %v", tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestTreeHelpers(t *testing.T) {
+	if d := treeDepth(1, 4); d != 0 {
+		t.Fatalf("depth(1) = %d", d)
+	}
+	if d := treeDepth(5, 4); d != 1 {
+		t.Fatalf("depth(5,b=4) = %d", d)
+	}
+	if d := treeDepth(6, 4); d != 2 {
+		t.Fatalf("depth(6,b=4) = %d", d)
+	}
+	// Heap arithmetic consistency: parent of every child is the sender.
+	for p := 0; p < 20; p++ {
+		for _, ch := range posChildren(p, 3, 60) {
+			if posParent(ch, 3) != p {
+				t.Fatalf("parent(children(%d)) mismatch", p)
+			}
+			if posDepth(ch, 3) != posDepth(p, 3)+1 {
+				t.Fatalf("depth mismatch for %d->%d", p, ch)
+			}
+		}
+	}
+}
+
+func testSortRoundTrip(t *testing.T, noLarge bool) {
+	t.Helper()
+	c := newCluster(t, 256, 2048, noLarge)
+	rng := xrand.New(7)
+	data := make([][]int64, c.K())
+	var all []int64
+	for i := range data {
+		n := rng.IntN(40)
+		for j := 0; j < n; j++ {
+			v := rng.Int64N(10000)
+			data[i] = append(data[i], v)
+			all = append(all, v)
+		}
+	}
+	sorted, err := Sort(c, data, 1, func(v int64) SortKey { return SortKey{A: v} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsGloballySorted(sorted, func(v int64) SortKey { return SortKey{A: v} }) {
+		t.Fatal("not globally sorted")
+	}
+	got := Flatten(sorted)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(got) != len(all) {
+		t.Fatalf("lost items: %d vs %d", len(got), len(all))
+	}
+	for i := range got {
+		if got[i] != all[i] {
+			t.Fatalf("item %d: %d != %d", i, got[i], all[i])
+		}
+	}
+	if c.Rounds() > 20 {
+		t.Fatalf("sort used %d rounds, want O(1)", c.Rounds())
+	}
+}
+
+func TestSortWithLarge(t *testing.T) { testSortRoundTrip(t, false) }
+func TestSortSublinear(t *testing.T) { testSortRoundTrip(t, true) }
+
+func TestSortSkewedAndEmpty(t *testing.T) {
+	c := newCluster(t, 256, 1024, false)
+	data := make([][]int64, c.K())
+	// All items on one machine, many duplicates.
+	for j := 0; j < 500; j++ {
+		data[3] = append(data[3], int64(j%7))
+	}
+	sorted, err := Sort(c, data, 1, func(v int64) SortKey { return SortKey{A: v} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsGloballySorted(sorted, func(v int64) SortKey { return SortKey{A: v} }) {
+		t.Fatal("not sorted")
+	}
+	if CountItems(sorted) != 500 {
+		t.Fatalf("items lost: %d", CountItems(sorted))
+	}
+	// Fully empty input.
+	c2 := newCluster(t, 64, 256, false)
+	empty := make([][]int64, c2.K())
+	sorted2, err := Sort(c2, empty, 1, func(v int64) SortKey { return SortKey{A: v} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountItems(sorted2) != 0 {
+		t.Fatal("phantom items")
+	}
+}
+
+func TestBroadcastValueDirectAndTree(t *testing.T) {
+	for _, noLarge := range []bool{false, true} {
+		c := newCluster(t, 512, 4096, noLarge)
+		vals, err := BroadcastValue(c, int64(777), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if v != 777 {
+				t.Fatalf("noLarge=%v machine %d got %d", noLarge, i, v)
+			}
+		}
+	}
+	// Force the tree path with a huge payload word count.
+	c := newCluster(t, 512, 4096, true)
+	payload := c.SmallCap() / 3 // K*payload >> smallCap forces the tree
+	vals, err := BroadcastValue(c, int64(55), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if v != 55 {
+			t.Fatal("tree broadcast corrupted value")
+		}
+	}
+}
+
+func TestGatherScatterSum(t *testing.T) {
+	c := newCluster(t, 256, 1024, false)
+	data := make([][]int64, c.K())
+	want := int64(0)
+	for i := range data {
+		data[i] = []int64{int64(i), int64(i * 2)}
+		want += int64(i) + int64(i*2)
+	}
+	all, err := GatherToLarge(c, data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for _, v := range all {
+		got += v
+	}
+	if got != want {
+		t.Fatalf("gather sum %d want %d", got, want)
+	}
+	// Scatter back.
+	back, err := ScatterFromLarge(c, data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if len(back[i]) != 2 || back[i][0] != data[i][0] {
+			t.Fatalf("scatter mismatch at %d", i)
+		}
+	}
+	counts := make([]int64, c.K())
+	for i := range counts {
+		counts[i] = 2
+	}
+	sum, err := SumToLarge(c, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != int64(2*c.K()) {
+		t.Fatalf("SumToLarge = %d", sum)
+	}
+}
+
+func TestBroadcastSeedShared(t *testing.T) {
+	c := newCluster(t, 128, 512, false)
+	s1, err := BroadcastSeed(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BroadcastSeed(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("seeds should differ between calls")
+	}
+}
+
+func TestAggregateByKeySums(t *testing.T) {
+	for _, noLarge := range []bool{false, true} {
+		c := newCluster(t, 256, 2048, noLarge)
+		rng := xrand.New(3)
+		items := make([][]KV[int64], c.K())
+		want := map[int64]int64{}
+		for i := range items {
+			for j := 0; j < 30; j++ {
+				k := rng.Int64N(50) // few keys => long spanning runs
+				v := rng.Int64N(100)
+				items[i] = append(items[i], KV[int64]{K: k, V: v})
+				want[k] += v
+			}
+		}
+		roots, atLarge, err := AggregateByKey(c, items, 1,
+			func(a, b int64) int64 { return a + b }, !noLarge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int64]int64{}
+		for i := range roots {
+			for k, v := range roots[i] {
+				if _, dup := got[k]; dup {
+					t.Fatalf("key %d finalized on two machines", k)
+				}
+				got[k] = v
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("noLarge=%v: %d keys, want %d", noLarge, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("noLarge=%v key %d: got %d want %d", noLarge, k, got[k], v)
+			}
+		}
+		if !noLarge {
+			for k, v := range want {
+				if atLarge[k] != v {
+					t.Fatalf("atLarge key %d: got %d want %d", k, atLarge[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateByKeyMin(t *testing.T) {
+	c := newCluster(t, 256, 2048, false)
+	items := make([][]KV[int64], c.K())
+	// One hot key spread across every machine; min should win.
+	for i := range items {
+		items[i] = append(items[i], KV[int64]{K: 9, V: int64(1000 - i)})
+	}
+	_, atLarge, err := AggregateByKey(c, items, 1,
+		func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1000 - (c.K() - 1))
+	if atLarge[9] != want {
+		t.Fatalf("min = %d, want %d", atLarge[9], want)
+	}
+}
+
+func TestSegmentedBroadcastFromLarge(t *testing.T) {
+	c := newCluster(t, 256, 2048, false)
+	values := map[int64]int64{}
+	for k := int64(0); k < 200; k++ {
+		values[k] = k * 10
+	}
+	rng := xrand.New(5)
+	needs := make([][]int64, c.K())
+	for i := range needs {
+		seen := map[int64]bool{}
+		for j := 0; j < 20; j++ {
+			k := rng.Int64N(220) // some keys have no value
+			if !seen[k] {
+				seen[k] = true
+				needs[i] = append(needs[i], k)
+			}
+		}
+	}
+	got, err := DisseminateFromLarge(c, needs, values, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range needs {
+		for _, k := range needs[i] {
+			v, ok := got[i][k]
+			wantV, wantOK := values[k]
+			if ok != wantOK || (ok && v != wantV) {
+				t.Fatalf("machine %d key %d: got (%d,%v) want (%d,%v)", i, k, v, ok, wantV, wantOK)
+			}
+		}
+	}
+}
+
+func TestSegmentedBroadcastDistributedValues(t *testing.T) {
+	// Values live on the small machines (no large-machine source): the
+	// hot-key case where one key is needed by every machine.
+	for _, noLarge := range []bool{false, true} {
+		c := newCluster(t, 256, 2048, noLarge)
+		smallValues := make([][]KV[int64], c.K())
+		smallValues[c.K()-1] = []KV[int64]{{K: 7, V: 700}} // value at the far end
+		needs := make([][]int64, c.K())
+		for i := range needs {
+			needs[i] = []int64{7}
+		}
+		got, err := SegmentedBroadcast(c, needs, smallValues, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i][7] != 700 {
+				t.Fatalf("noLarge=%v machine %d got %v", noLarge, i, got[i])
+			}
+		}
+	}
+}
+
+func TestArrangeAndCollectBudget(t *testing.T) {
+	c := newCluster(t, 256, 2048, false)
+	g := graph.GNMWeighted(100, 600, 9)
+	// Directed duplication sorted by (source, weight) — the §3 arrangement.
+	dir := make([][]graph.Edge, c.K())
+	for j, e := range g.Edges {
+		m := j % c.K()
+		dir[m] = append(dir[m], e)
+		dir[(j+1)%c.K()] = append(dir[(j+1)%c.K()], graph.Edge{U: e.V, V: e.U, W: e.W})
+	}
+	sortKey := func(e graph.Edge) SortKey { return SortKey{A: int64(e.U), B: e.W, C: int64(e.V)} }
+	arr, err := Arrange(c, dir, sortKey, EdgeWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrees from the run index must match the real degrees.
+	deg := g.Degrees()
+	for v := 0; v < g.N; v++ {
+		if got := arr.Degree(int64(v)); got != deg[v] {
+			t.Fatalf("degree of %d: got %d want %d", v, got, deg[v])
+		}
+	}
+	// Collect the 3 lightest out-edges of every vertex.
+	collected, err := arr.CollectBudget(c, func(key int64) int { return 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := g.Adj()
+	for v := 0; v < g.N; v++ {
+		items := collected[int64(v)]
+		wantN := 3
+		if deg[v] < 3 {
+			wantN = deg[v]
+		}
+		if len(items) != wantN {
+			t.Fatalf("vertex %d: collected %d, want %d", v, len(items), wantN)
+		}
+		// They must be the lightest.
+		ws := make([]int64, 0, len(adj[v]))
+		for _, h := range adj[v] {
+			ws = append(ws, h.W)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		for x, it := range items {
+			if it.W != ws[x] {
+				t.Fatalf("vertex %d item %d: weight %d want %d", v, x, it.W, ws[x])
+			}
+			if it.U != v {
+				t.Fatalf("vertex %d: collected foreign edge %v", v, it)
+			}
+		}
+	}
+}
+
+func TestDistributeEdgesBalanced(t *testing.T) {
+	c := newCluster(t, 256, 2048, false)
+	g := graph.GNM(256, 2048, 3)
+	data := DistributeEdges(c, g)
+	if CountItems(data) != g.M() {
+		t.Fatal("edges lost in distribution")
+	}
+	max := 0
+	for i := range data {
+		if len(data[i]) > max {
+			max = len(data[i])
+		}
+	}
+	if max > (g.M()/c.K())+1 {
+		t.Fatalf("imbalanced: max %d", max)
+	}
+}
+
+func TestPrimitivesRoundCountsConstant(t *testing.T) {
+	// The whole point of Claims 1-4: O(1) rounds. Check against generous
+	// constants.
+	c := newCluster(t, 512, 4096, false)
+	items := make([][]KV[int64], c.K())
+	for i := range items {
+		items[i] = []KV[int64]{{K: int64(i % 17), V: 1}}
+	}
+	before := c.Rounds()
+	if _, _, err := AggregateByKey(c, items, 1, func(a, b int64) int64 { return a + b }, true); err != nil {
+		t.Fatal(err)
+	}
+	if used := c.Rounds() - before; used > 25 {
+		t.Fatalf("AggregateByKey used %d rounds", used)
+	}
+	needs := make([][]int64, c.K())
+	for i := range needs {
+		needs[i] = []int64{int64(i % 17)}
+	}
+	before = c.Rounds()
+	if _, err := DisseminateFromLarge(c, needs, map[int64]int64{0: 1, 5: 2, 16: 3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if used := c.Rounds() - before; used > 25 {
+		t.Fatalf("Disseminate used %d rounds", used)
+	}
+}

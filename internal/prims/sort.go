@@ -1,0 +1,202 @@
+package prims
+
+import (
+	"fmt"
+	"sort"
+
+	"hetmpc/internal/mpc"
+)
+
+// SortKey is the compact, 3-word lexicographic sort key extracted from every
+// item. Keeping splitters to 3 words (rather than whole items, which may
+// carry large payloads such as labels) keeps the splitter broadcast within
+// the small machines' capacity.
+type SortKey struct{ A, B, C int64 }
+
+// Less is the lexicographic order on sort keys.
+func (k SortKey) Less(o SortKey) bool {
+	if k.A != o.A {
+		return k.A < o.A
+	}
+	if k.B != o.B {
+		return k.B < o.B
+	}
+	return k.C < o.C
+}
+
+const sortKeyWords = 3
+
+// Sort implements Claim 1: it sorts the items stored on the small machines
+// by their SortKey so that afterwards machine i's items all precede machine
+// i+1's items and each machine's slice is locally sorted. It is a sample
+// sort:
+//
+//  1. local sort;
+//  2. every machine sends a small weighted key sample to the coordinator
+//     (1 round);
+//  3. the coordinator picks K-1 splitter keys and broadcasts them (1 round,
+//     or a capacity-bounded tree when the list is too large to send K times
+//     directly);
+//  4. items are routed to their splitter bucket (1 round) and re-sorted.
+//
+// itemWords is the accounted size of one item.
+func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey) ([][]T, error) {
+	k := c.K()
+	if len(data) < k {
+		nd := make([][]T, k)
+		copy(nd, data)
+		data = nd
+	}
+
+	// Step 1: local sort (parallel local computation, no rounds).
+	if err := c.ForSmall(func(i int) error {
+		sort.SliceStable(data[i], func(a, b int) bool { return key(data[i][a]).Less(key(data[i][b])) })
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Step 2: weighted key samples to the coordinator.
+	q := coordCap(c) / (2 * k * (sortKeyWords + 1))
+	if q < 1 {
+		q = 1
+	}
+	if q > 64 {
+		q = 64
+	}
+	type sample struct {
+		Keys  []SortKey
+		Count int
+	}
+	outs := make([][]mpc.Msg, k)
+	for i := 0; i < k; i++ {
+		n := len(data[i])
+		take := q
+		if take > n {
+			take = n
+		}
+		keys := make([]SortKey, 0, take)
+		for j := 0; j < take; j++ {
+			keys = append(keys, key(data[i][j*n/take]))
+		}
+		outs[i] = []mpc.Msg{{To: coordinator(c), Words: len(keys)*sortKeyWords + 1, Data: sample{Keys: keys, Count: n}}}
+	}
+	ins, inLarge, err := c.Exchange(outs, nil)
+	if err != nil {
+		return nil, err
+	}
+	inbox := inLarge
+	if !c.HasLarge() {
+		inbox = ins[0]
+	}
+
+	// Step 3: coordinator picks splitters weighted by machine loads.
+	type weighted struct {
+		key    SortKey
+		weight float64
+	}
+	var samples []weighted
+	total := 0
+	for _, m := range inbox {
+		s, ok := m.Data.(sample)
+		if !ok {
+			return nil, fmt.Errorf("prims: unexpected sample payload %T", m.Data)
+		}
+		total += s.Count
+		if len(s.Keys) == 0 {
+			continue
+		}
+		w := float64(s.Count) / float64(len(s.Keys))
+		for _, kk := range s.Keys {
+			samples = append(samples, weighted{key: kk, weight: w})
+		}
+	}
+	sort.SliceStable(samples, func(a, b int) bool { return samples[a].key.Less(samples[b].key) })
+	splitters := make([]SortKey, 0, k-1)
+	if len(samples) > 0 && total > 0 {
+		var cum float64
+		next := 1
+		target := float64(total) / float64(k)
+		for _, s := range samples {
+			cum += s.weight
+			for next < k && cum >= float64(next)*target {
+				splitters = append(splitters, s.key)
+				next++
+			}
+		}
+	}
+
+	// Broadcast the splitter list (3 words per splitter).
+	type splitterList struct{ Keys []SortKey }
+	words := len(splitters)*sortKeyWords + 1
+	lists, err := BroadcastValue(c, splitterList{Keys: splitters}, words)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4: route every item to its bucket.
+	type chunk struct{ Items []T }
+	buckets := make([][][]T, k)
+	if err := c.ForSmall(func(i int) error {
+		sp := lists[i].Keys
+		buckets[i] = make([][]T, k)
+		for _, it := range data[i] {
+			kk := key(it)
+			j := sort.Search(len(sp), func(x int) bool { return kk.Less(sp[x]) })
+			buckets[i][j] = append(buckets[i][j], it)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	routeOuts := make([][]mpc.Msg, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if len(buckets[i][j]) == 0 {
+				continue
+			}
+			routeOuts[i] = append(routeOuts[i], mpc.Msg{To: j, Words: len(buckets[i][j]) * itemWords, Data: chunk{Items: buckets[i][j]}})
+		}
+	}
+	ins, _, err = c.Exchange(routeOuts, nil)
+	if err != nil {
+		return nil, err
+	}
+	result := make([][]T, k)
+	for i, inboxI := range ins {
+		n := 0
+		for _, m := range inboxI {
+			ch, ok := m.Data.(chunk)
+			if !ok {
+				return nil, fmt.Errorf("prims: unexpected route payload %T", m.Data)
+			}
+			n += len(ch.Items)
+		}
+		result[i] = make([]T, 0, n)
+		for _, m := range inboxI {
+			result[i] = append(result[i], m.Data.(chunk).Items...)
+		}
+	}
+	if err := c.ForSmall(func(i int) error {
+		sort.SliceStable(result[i], func(a, b int) bool { return key(result[i][a]).Less(key(result[i][b])) })
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// IsGloballySorted verifies the Sort postcondition (used by tests).
+func IsGloballySorted[T any](data [][]T, key func(T) SortKey) bool {
+	var last *SortKey
+	for i := range data {
+		for j := range data[i] {
+			kk := key(data[i][j])
+			if last != nil && kk.Less(*last) {
+				return false
+			}
+			last = &kk
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+// Package sketch implements the linear graph sketches of Ahn, Guha and
+// McGregor [1] used by the paper's O(1)-round connectivity algorithm
+// (Appendix C.1): ℓ0-samplers built from geometric level sampling with
+// t-wise independent hashing and one-sparse recovery with field
+// fingerprints.
+//
+// A Sketch is a linear function of its input vector, so sketches of
+// edge-partitioned neighborhoods can be added together (Property 1 in the
+// paper): the small machines each sketch the edges they hold and the sums
+// are formed by aggregation.
+//
+// The vector being sketched is the signed vertex-incidence vector a_v over
+// the edge universe {(i,j) : i < j}: a_v[(i,j)] = +1 if v == i and the edge
+// is present, -1 if v == j. Summing a_v over a vertex set S cancels internal
+// edges, so querying the sum returns an edge of E[S, V \ S].
+package sketch
+
+import (
+	"fmt"
+
+	"hetmpc/internal/graph"
+	"hetmpc/internal/xrand"
+)
+
+// Family fixes the shared randomness of a collection of compatible sketches:
+// the level hash and the fingerprint base. Sketches from the same family can
+// be added; mixing families is a programming error and returns an error.
+type Family struct {
+	levels int
+	hash   xrand.Hash
+	r      uint64 // fingerprint base
+	id     uint64 // for compatibility checks
+}
+
+// NewFamily creates a sketch family over a universe of at most `universe`
+// indices, with shared randomness derived from seed. The number of geometric
+// levels is ⌈log2 universe⌉ + 2 and the hash is Θ(log universe)-wise
+// independent, as in [36].
+func NewFamily(universe int64, seed uint64) *Family {
+	levels := 2
+	for u := int64(1); u < universe; u <<= 1 {
+		levels++
+	}
+	return NewFamilyLevels(levels, seed)
+}
+
+// NewFamilyLevels creates a family with an explicit level count: useful when
+// the number of nonzero entries is known to be far below the universe size
+// (levels ≈ log2(max support) + O(1) suffice, shrinking every sketch).
+func NewFamilyLevels(levels int, seed uint64) *Family {
+	if levels < 2 {
+		levels = 2
+	}
+	t := levels // t-wise independence ~ log of support
+	rng := xrand.New(xrand.Split(seed, 0xF))
+	return &Family{
+		levels: levels,
+		hash:   xrand.NewHash(xrand.Split(seed, 1), t),
+		r:      rng.Uint64()%(xrand.MersennePrime-2) + 2,
+		id:     xrand.SplitMix64(seed),
+	}
+}
+
+// Levels returns the number of geometric levels.
+func (f *Family) Levels() int { return f.levels }
+
+// oneSparse is a one-sparse recovery structure over signed unit values.
+type oneSparse struct {
+	count int64  // Σ val
+	z     uint64 // Σ val·idx   (wrapping arithmetic; validated by fp)
+	fp    uint64 // Σ val·r^idx mod p
+}
+
+func (o *oneSparse) add(idx int64, val int, rPow uint64) {
+	o.count += int64(val)
+	if val > 0 {
+		o.z += uint64(idx)
+		o.fp = xrand.AddModP(o.fp, rPow)
+	} else {
+		o.z -= uint64(idx)
+		o.fp = xrand.SubModP(o.fp, rPow)
+	}
+}
+
+func (o *oneSparse) merge(b oneSparse) {
+	o.count += b.count
+	o.z += b.z
+	o.fp = xrand.AddModP(o.fp, b.fp)
+}
+
+// recover attempts one-sparse recovery: it succeeds iff the structure holds
+// exactly one index with value ±1 (up to the 1/p fingerprint failure
+// probability).
+func (o *oneSparse) recover(r uint64, universe int64) (idx int64, val int, ok bool) {
+	switch o.count {
+	case 1:
+		idx = int64(o.z)
+		val = 1
+	case -1:
+		idx = int64(-o.z)
+		val = -1
+	default:
+		return 0, 0, false
+	}
+	if idx < 0 || idx >= universe {
+		return 0, 0, false
+	}
+	want := xrand.PowModP(r, uint64(idx))
+	if val < 0 {
+		want = xrand.SubModP(0, want)
+	}
+	if o.fp != want {
+		return 0, 0, false
+	}
+	return idx, val, true
+}
+
+// Sketch is an addable ℓ0-sampler over signed unit-valued vectors.
+type Sketch struct {
+	familyID uint64
+	universe int64
+	levels   []oneSparse
+}
+
+// NewSketch returns an empty sketch of the family over the given universe.
+func (f *Family) NewSketch(universe int64) *Sketch {
+	return &Sketch{
+		familyID: f.id,
+		universe: universe,
+		levels:   make([]oneSparse, f.levels),
+	}
+}
+
+// Words returns the communication size of the sketch in machine words.
+func (s *Sketch) Words() int { return 2 + 3*len(s.levels) }
+
+// Add applies a single update: vector[idx] += val, with val ∈ {+1, -1}.
+func (f *Family) Add(s *Sketch, idx int64, val int) {
+	if val != 1 && val != -1 {
+		panic("sketch: val must be ±1") // programming error, not data error
+	}
+	rPow := xrand.PowModP(f.r, uint64(idx))
+	h := f.hash.Eval(uint64(idx))
+	// Item belongs to level ℓ iff h < p / 2^ℓ; membership is nested.
+	bound := xrand.MersennePrime
+	for ℓ := 0; ℓ < len(s.levels); ℓ++ {
+		if h >= bound {
+			break
+		}
+		s.levels[ℓ].add(idx, val, rPow)
+		bound >>= 1
+	}
+}
+
+// AddEdgeIncidence applies the signed incidence update of edge e for
+// endpoint v: +1 if v is the smaller endpoint, -1 otherwise.
+func (f *Family) AddEdgeIncidence(s *Sketch, v int, e graph.Edge, n int) {
+	idx := e.Key(n)
+	if v == e.U {
+		f.Add(s, idx, 1)
+	} else {
+		f.Add(s, idx, -1)
+	}
+}
+
+// Clone returns a deep copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	out := &Sketch{
+		familyID: s.familyID,
+		universe: s.universe,
+		levels:   make([]oneSparse, len(s.levels)),
+	}
+	copy(out.levels, s.levels)
+	return out
+}
+
+// Merge adds other into s (linearity). The sketches must come from the same
+// family and universe.
+func (s *Sketch) Merge(other *Sketch) error {
+	if s.familyID != other.familyID || s.universe != other.universe || len(s.levels) != len(other.levels) {
+		return fmt.Errorf("sketch: merging incompatible sketches")
+	}
+	for i := range s.levels {
+		s.levels[i].merge(other.levels[i])
+	}
+	return nil
+}
+
+// Query attempts to sample a nonzero index of the sketched vector. It scans
+// from the sparsest level down and returns the first successful one-sparse
+// recovery. ok=false means the vector is (probably) zero or recovery failed
+// at every level; callers that need high-probability success use several
+// independent families.
+func (f *Family) Query(s *Sketch) (idx int64, val int, ok bool) {
+	for ℓ := len(s.levels) - 1; ℓ >= 0; ℓ-- {
+		if idx, val, ok = s.levels[ℓ].recover(f.r, s.universe); ok {
+			return idx, val, true
+		}
+	}
+	return 0, 0, false
+}
+
+// IsZero reports whether the sketch is of the all-zero vector (level 0
+// contains every index, so an empty level 0 means an empty vector —
+// deterministically for count/z, w.h.p. once fingerprints are involved).
+func (s *Sketch) IsZero() bool {
+	l0 := s.levels[0]
+	return l0.count == 0 && l0.z == 0 && l0.fp == 0
+}
+
+// DecodeEdgeKey converts a universe index back to the edge endpoints.
+func DecodeEdgeKey(idx int64, n int) (u, v int) {
+	return int(idx / int64(n)), int(idx % int64(n))
+}

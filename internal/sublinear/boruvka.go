@@ -1,0 +1,212 @@
+package sublinear
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+	"hetmpc/internal/prims"
+	"hetmpc/internal/xrand"
+)
+
+// MSTResult is the output of the Borůvka baseline.
+type MSTResult struct {
+	Edges  []graph.Edge // validation view (edges remain distributed in-model)
+	Weight int64
+	Phases int
+	Stats  mpc.Stats
+}
+
+// minEdgeVal is the per-component minimum outgoing edge.
+type minEdgeVal struct {
+	W          int64
+	OU, OV     int32 // original edge (unique tie-break)
+	OtherLabel int64
+}
+
+const minEdgeWords = 4
+
+func lessMinEdge(a, b minEdgeVal) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	if a.OU != b.OU {
+		return a.OU < b.OU
+	}
+	return a.OV < b.OV
+}
+
+// MST is the sublinear-regime baseline: plain Borůvka with random-mate
+// contraction and no large machine — Θ(log n) phases of O(1) rounds each
+// (the paper's Table 1 contrasts this O(log n) [5] against the heterogeneous
+// O(log log(m/n)) algorithm).
+//
+// Each phase: every component finds its minimum outgoing edge (Claim 2
+// aggregation under the unique-weight order); tail-flipping components
+// contract along that edge into head-flipping neighbors (coins from a shared
+// seed); labels update by dissemination. Every contraction edge is a true
+// minimum outgoing edge, so the output is exactly the MSF.
+func MST(c *mpc.Cluster, g *graph.Graph) (*MSTResult, error) {
+	before := c.Stats()
+	n := g.N
+	res := &MSTResult{}
+	kk := c.K()
+	edges := make([][]bEdge, kk)
+	dist := prims.DistributeEdges(c, g)
+	for i := range dist {
+		for _, e := range dist[i] {
+			edges[i] = append(edges[i], bEdge{LU: int64(e.U), LV: int64(e.V), W: e.W, OU: int32(e.U), OV: int32(e.V)})
+		}
+	}
+
+	seed, err := prims.BroadcastSeed(c)
+	if err != nil {
+		return nil, err
+	}
+	coinHash := xrand.NewHash(xrand.Split(seed, 2), 6)
+	coin := func(phase int, label int64) bool {
+		return coinHash.Eval(uint64(phase)*uint64(n+1)+uint64(label))&1 == 0
+	}
+
+	mstParts := make([][]graph.Edge, kk) // MST edges stay distributed
+	maxPhases := 6*int(math.Ceil(math.Log2(float64(n)+2))) + 12
+
+	for phase := 0; ; phase++ {
+		live, err := prims.SumAll(c, liveCounts(edges))
+		if err != nil {
+			return nil, err
+		}
+		if live == 0 {
+			break
+		}
+		if phase >= maxPhases {
+			return nil, fmt.Errorf("sublinear: Borůvka failed to converge")
+		}
+		res.Phases++
+
+		// Minimum outgoing edge per component (both directions).
+		items := make([][]prims.KV[minEdgeVal], kk)
+		if err := c.ForSmall(func(i int) error {
+			for _, e := range edges[i] {
+				if e.LU == e.LV {
+					continue
+				}
+				mv := minEdgeVal{W: e.W, OU: e.OU, OV: e.OV}
+				a := mv
+				a.OtherLabel = e.LV
+				b := mv
+				b.OtherLabel = e.LU
+				items[i] = append(items[i],
+					prims.KV[minEdgeVal]{K: e.LU, V: a},
+					prims.KV[minEdgeVal]{K: e.LV, V: b})
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		minRoots, _, err := prims.AggregateByKey(c, items, minEdgeWords,
+			func(a, b minEdgeVal) minEdgeVal {
+				if lessMinEdge(b, a) {
+					return b
+				}
+				return a
+			}, false)
+		if err != nil {
+			return nil, err
+		}
+		// Tail components contract along their min edge into head neighbors;
+		// the root machine of the component records the MST edge.
+		adoptions := make([][]prims.KV[int64], kk)
+		if err := c.ForSmall(func(i int) error {
+			keys := make([]int64, 0, len(minRoots[i]))
+			for k := range minRoots[i] {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			for _, label := range keys {
+				mv := minRoots[i][label]
+				if !coin(phase, label) && coin(phase, mv.OtherLabel) {
+					adoptions[i] = append(adoptions[i], prims.KV[int64]{K: label, V: mv.OtherLabel})
+					mstParts[i] = append(mstParts[i], graph.NewEdge(int(mv.OU), int(mv.OV), mv.W))
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// Disseminate the adoption map to every machine holding the label.
+		labelNeeds := make([][]int64, kk)
+		if err := c.ForSmall(func(i int) error {
+			seen := make(map[int64]bool)
+			for _, e := range edges[i] {
+				for _, l := range [2]int64{e.LU, e.LV} {
+					if !seen[l] {
+						seen[l] = true
+						labelNeeds[i] = append(labelNeeds[i], l)
+					}
+				}
+			}
+			sort.Slice(labelNeeds[i], func(a, b int) bool { return labelNeeds[i][a] < labelNeeds[i][b] })
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		adoptVals := make([][]prims.KV[int64], kk)
+		for i := range adoptions {
+			adoptVals[i] = adoptions[i]
+		}
+		maps, err := prims.SegmentedBroadcast(c, labelNeeds, adoptVals, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.ForSmall(func(i int) error {
+			out := edges[i][:0]
+			for _, e := range edges[i] {
+				if nl, ok := maps[i][e.LU]; ok {
+					e.LU = nl
+				}
+				if nl, ok := maps[i][e.LV]; ok {
+					e.LV = nl
+				}
+				if e.LU != e.LV {
+					out = append(out, e)
+				}
+			}
+			edges[i] = out
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	all := prims.Flatten(mstParts)
+	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+	res.Edges = all
+	for _, e := range all {
+		res.Weight += e.W
+	}
+	res.Stats = statsDelta(c, before)
+	return res, nil
+}
+
+// bEdge is a contracted baseline edge: current component labels plus the
+// original (unique-weight) edge.
+type bEdge struct {
+	LU, LV int64
+	W      int64
+	OU, OV int32
+}
+
+func liveCounts(edges [][]bEdge) []int64 {
+	out := make([]int64, len(edges))
+	for i := range edges {
+		for _, e := range edges[i] {
+			if e.LU != e.LV {
+				out[i]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Package sublinear implements the sublinear-MPC baseline algorithms used
+// for the Table 1 comparison (the "Sublinear MPC" column): they run on a
+// cluster with NO large machine (mpc.Config.NoLarge) and exhibit the round
+// complexities the paper contrasts against — Θ(log n) Borůvka MST and
+// random-mate connectivity, Θ(log n) Luby MIS, and mirror-matching peeling
+// whose round count tracks log Δ.
+//
+// The peeling matching primitive is shared with the heterogeneous algorithm
+// of §5 (Phase 1 runs it on the low-degree induced subgraph), which is what
+// makes the paper's d-vs-Δ separation directly observable (experiment E7);
+// see DESIGN.md substitution 1.
+package sublinear
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+	"hetmpc/internal/prims"
+)
+
+// PeelResult is the outcome of the mirror-matching peeling loop.
+type PeelResult struct {
+	Matched    [][]graph.Edge // matching edges, per machine
+	Live       [][]graph.Edge // remaining edges with both endpoints unmatched
+	Iterations int
+	Remaining  int64
+	Stats      mpc.Stats // communication metrics of the peeling run
+}
+
+// rankVal is the per-vertex aggregation value: the minimum (rank, edge) of
+// the live edges incident to the vertex.
+type rankVal struct {
+	Rank   uint64
+	EU, EV int32
+}
+
+const rankValWords = 3
+
+func lessRank(a, b rankVal) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	if a.EU != b.EU {
+		return a.EU < b.EU
+	}
+	return a.EV < b.EV
+}
+
+// PeelMatching runs mirror-matching peeling on the distributed edge set:
+// each iteration every live edge draws a random rank; an edge enters the
+// matching iff it holds the minimum rank at BOTH endpoints; endpoints of
+// matched edges die and their edges are dropped. The loop stops when the
+// number of live edges is at most stopRemaining (use 0 for a maximal
+// matching). Each iteration is O(1) rounds; the iteration count is
+// O(log Δ') w.h.p. where Δ' is the max degree of the input edges.
+//
+// Works on clusters with or without a large machine (the baseline regime
+// uses machine 0 as coordinator).
+func PeelMatching(c *mpc.Cluster, edges [][]graph.Edge, stopRemaining int64) (*PeelResult, error) {
+	before := c.Stats()
+	k := c.K()
+	live := make([][]graph.Edge, k)
+	for i := 0; i < k && i < len(edges); i++ {
+		live[i] = append([]graph.Edge(nil), edges[i]...)
+	}
+	matched := make([][]graph.Edge, k)
+	res := &PeelResult{}
+
+	total := int64(0)
+	for i := range live {
+		total += int64(len(live[i]))
+	}
+	maxIters := 4*int(math.Ceil(math.Log2(float64(total)+2))) + 12
+
+	for iter := 0; ; iter++ {
+		remaining, err := prims.SumAll(c, counts(live))
+		if err != nil {
+			return nil, err
+		}
+		res.Remaining = remaining
+		if remaining <= stopRemaining {
+			break
+		}
+		if iter >= maxIters {
+			return nil, fmt.Errorf("sublinear: peeling failed to converge after %d iterations (%d live)", iter, remaining)
+		}
+		res.Iterations++
+
+		// Draw ranks and aggregate the per-vertex minimum.
+		ranks := make([][]uint64, k)
+		items := make([][]prims.KV[rankVal], k)
+		if err := c.ForSmall(func(i int) error {
+			rng := c.Rand(i)
+			ranks[i] = make([]uint64, len(live[i]))
+			for j, e := range live[i] {
+				r := rng.Uint64()
+				ranks[i][j] = r
+				rv := rankVal{Rank: r, EU: int32(e.U), EV: int32(e.V)}
+				items[i] = append(items[i],
+					prims.KV[rankVal]{K: int64(e.U), V: rv},
+					prims.KV[rankVal]{K: int64(e.V), V: rv})
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		minRoots, _, err := prims.AggregateByKey(c, items, rankValWords,
+			func(a, b rankVal) rankVal {
+				if lessRank(b, a) {
+					return b
+				}
+				return a
+			}, false)
+		if err != nil {
+			return nil, err
+		}
+		needs := endpointNeeds(live)
+		rootKVs := rootsToKVs(c, minRoots)
+		minMaps, err := prims.SegmentedBroadcast(c, needs, rootKVs, nil, rankValWords)
+		if err != nil {
+			return nil, err
+		}
+
+		// An edge is matched iff it is the minimum at both endpoints.
+		deadItems := make([][]prims.KV[bool], k)
+		if err := c.ForSmall(func(i int) error {
+			for j, e := range live[i] {
+				rv := rankVal{Rank: ranks[i][j], EU: int32(e.U), EV: int32(e.V)}
+				mu, okU := minMaps[i][int64(e.U)]
+				mv, okV := minMaps[i][int64(e.V)]
+				if okU && okV && mu == rv && mv == rv {
+					matched[i] = append(matched[i], e)
+					deadItems[i] = append(deadItems[i],
+						prims.KV[bool]{K: int64(e.U), V: true},
+						prims.KV[bool]{K: int64(e.V), V: true})
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		deadRoots, _, err := prims.AggregateByKey(c, deadItems, 1,
+			func(a, b bool) bool { return a || b }, false)
+		if err != nil {
+			return nil, err
+		}
+		deadMaps, err := prims.SegmentedBroadcast(c, needs, rootsToKVs(c, deadRoots), nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.ForSmall(func(i int) error {
+			out := live[i][:0]
+			for _, e := range live[i] {
+				if deadMaps[i][int64(e.U)] || deadMaps[i][int64(e.V)] {
+					continue
+				}
+				out = append(out, e)
+			}
+			live[i] = out
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	res.Matched = matched
+	res.Live = live
+	res.Stats = statsDelta(c, before)
+	return res, nil
+}
+
+// counts returns per-machine item counts as int64s.
+func counts[T any](data [][]T) []int64 {
+	out := make([]int64, len(data))
+	for i := range data {
+		out[i] = int64(len(data[i]))
+	}
+	return out
+}
+
+// endpointNeeds returns each machine's deduplicated endpoint key list.
+func endpointNeeds(edges [][]graph.Edge) [][]int64 {
+	needs := make([][]int64, len(edges))
+	for i := range edges {
+		seen := make(map[int64]bool, 2*len(edges[i]))
+		for _, e := range edges[i] {
+			for _, v := range [2]int{e.U, e.V} {
+				if !seen[int64(v)] {
+					seen[int64(v)] = true
+					needs[i] = append(needs[i], int64(v))
+				}
+			}
+		}
+		sort.Slice(needs[i], func(a, b int) bool { return needs[i][a] < needs[i][b] })
+	}
+	return needs
+}
+
+// rootsToKVs converts per-machine root maps into sorted KV slices for
+// SegmentedBroadcast's distributed-values input.
+func rootsToKVs[V any](c *mpc.Cluster, roots []map[int64]V) [][]prims.KV[V] {
+	out := make([][]prims.KV[V], c.K())
+	for i := range roots {
+		out[i] = make([]prims.KV[V], 0, len(roots[i]))
+		for key, v := range roots[i] {
+			out[i] = append(out[i], prims.KV[V]{K: key, V: v})
+		}
+		sort.Slice(out[i], func(a, b int) bool { return out[i][a].K < out[i][b].K })
+	}
+	return out
+}
+
+// MaximalMatching is the sublinear-regime baseline: peel to full maximality
+// with no large machine involved. The returned stats show Θ(log Δ)
+// iterations of O(1) rounds each.
+func MaximalMatching(c *mpc.Cluster, g *graph.Graph) ([]graph.Edge, *PeelResult, error) {
+	edges := prims.DistributeEdges(c, g)
+	res, err := PeelMatching(c, edges, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prims.Flatten(res.Matched), res, nil
+}

@@ -1,0 +1,80 @@
+// Package unionfind implements a disjoint-set forest with union by rank and
+// path halving. It is the workhorse of the local (in-machine) computations:
+// Borůvka contractions on the large machine, reference connected components,
+// Kruskal, and the sketch-based connectivity algorithm.
+package unionfind
+
+// DSU is a disjoint-set union structure over elements 0..n-1.
+// The zero value is unusable; create one with New.
+type DSU struct {
+	parent []int
+	rank   []byte
+	count  int // number of disjoint sets
+}
+
+// New returns a DSU with n singleton sets.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int, n),
+		rank:   make([]byte, n),
+		count:  n,
+	}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Count returns the current number of disjoint sets.
+func (d *DSU) Count() int { return d.count }
+
+// Find returns the representative of x's set, using path halving.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b. It reports whether a merge happened
+// (false means they were already in the same set).
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	d.count--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int) bool { return d.Find(a) == d.Find(b) }
+
+// Labels returns, for each element, the representative of its set.
+func (d *DSU) Labels() []int {
+	out := make([]int, len(d.parent))
+	for i := range d.parent {
+		out[i] = d.Find(i)
+	}
+	return out
+}
+
+// Reset returns every element to its own singleton set.
+func (d *DSU) Reset() {
+	for i := range d.parent {
+		d.parent[i] = i
+		d.rank[i] = 0
+	}
+	d.count = len(d.parent)
+}

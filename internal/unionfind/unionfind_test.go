@@ -1,0 +1,142 @@
+package unionfind
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	d := New(5)
+	if d.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", d.Count())
+	}
+	if !d.Union(0, 1) {
+		t.Fatal("first Union(0,1) should merge")
+	}
+	if d.Union(0, 1) {
+		t.Fatal("second Union(0,1) should be a no-op")
+	}
+	if !d.Same(0, 1) {
+		t.Fatal("0 and 1 should be in the same set")
+	}
+	if d.Same(0, 2) {
+		t.Fatal("0 and 2 should be in different sets")
+	}
+	if d.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", d.Count())
+	}
+	d.Union(2, 3)
+	d.Union(1, 3)
+	if !d.Same(0, 2) {
+		t.Fatal("transitive merge failed")
+	}
+	if d.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", d.Count())
+	}
+}
+
+func TestLabelsConsistent(t *testing.T) {
+	d := New(10)
+	d.Union(0, 5)
+	d.Union(5, 9)
+	d.Union(2, 3)
+	labels := d.Labels()
+	if labels[0] != labels[5] || labels[5] != labels[9] {
+		t.Fatalf("labels of merged set differ: %v", labels)
+	}
+	if labels[2] != labels[3] {
+		t.Fatalf("labels of merged set differ: %v", labels)
+	}
+	if labels[0] == labels[2] {
+		t.Fatal("labels of different sets collide")
+	}
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	if len(seen) != d.Count() {
+		t.Fatalf("distinct labels %d != Count %d", len(seen), d.Count())
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(4)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Reset()
+	if d.Count() != 4 {
+		t.Fatalf("Count after Reset = %d, want 4", d.Count())
+	}
+	if d.Same(0, 1) {
+		t.Fatal("sets survived Reset")
+	}
+}
+
+// TestAgainstNaive cross-checks DSU behaviour against a quadratic reference
+// implementation on random union sequences.
+func TestAgainstNaive(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		d := New(n)
+		ref := make([]int, n) // ref[i] = naive component label
+		for i := range ref {
+			ref[i] = i
+		}
+		for op := 0; op < 100; op++ {
+			a, b := rng.IntN(n), rng.IntN(n)
+			d.Union(a, b)
+			la, lb := ref[a], ref[b]
+			if la != lb {
+				for i := range ref {
+					if ref[i] == lb {
+						ref[i] = la
+					}
+				}
+			}
+			// Spot-check equivalence of a few random pairs.
+			for q := 0; q < 5; q++ {
+				x, y := rng.IntN(n), rng.IntN(n)
+				if d.Same(x, y) != (ref[x] == ref[y]) {
+					t.Fatalf("Same(%d,%d) disagrees with reference", x, y)
+				}
+			}
+		}
+		distinct := map[int]bool{}
+		for _, l := range ref {
+			distinct[l] = true
+		}
+		if d.Count() != len(distinct) {
+			t.Fatalf("Count %d != reference %d", d.Count(), len(distinct))
+		}
+	}
+}
+
+func TestQuickProperties(t *testing.T) {
+	// Union is idempotent and Count decreases exactly on novel merges.
+	prop := func(ops []uint16) bool {
+		const n = 32
+		d := New(n)
+		for _, op := range ops {
+			a := int(op) % n
+			b := int(op>>8) % n
+			before := d.Count()
+			merged := d.Union(a, b)
+			after := d.Count()
+			if merged && after != before-1 {
+				return false
+			}
+			if !merged && after != before {
+				return false
+			}
+			if !d.Same(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
