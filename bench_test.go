@@ -16,21 +16,41 @@ package hetmpc_test
 
 import (
 	"math"
+	"os"
 	"testing"
 
 	"hetmpc"
 	"hetmpc/internal/exp"
 )
 
-// runExp executes one experiment table per benchmark iteration.
+// benchDir is where experiment benchmarks drop their BENCH_<exp>.json
+// artifacts (override with the BENCH_DIR environment variable; "-" disables
+// artifact writing). The artifacts record the perf trajectory across PRs:
+// model metrics (rounds, words) plus wall-clock ns and allocations.
+func benchDir() string {
+	if d := os.Getenv("BENCH_DIR"); d != "" {
+		return d
+	}
+	return "bench"
+}
+
+// runExp executes one experiment table per benchmark iteration, reports the
+// model metrics, and writes the BENCH_<exp>.json artifact of the last
+// iteration.
 func runExp(b *testing.B, id string) {
 	b.Helper()
-	fn := exp.All()[id]
-	if fn == nil {
-		b.Fatalf("unknown experiment %q", id)
-	}
+	var art *exp.Artifact
 	for i := 0; i < b.N; i++ {
-		if _, err := fn(7); err != nil {
+		a, err := exp.Run(id, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		art = a
+	}
+	b.ReportMetric(float64(art.Model.Rounds), "rounds")
+	b.ReportMetric(float64(art.Model.TotalWords), "words")
+	if dir := benchDir(); dir != "-" {
+		if _, err := art.WriteFile(dir); err != nil {
 			b.Fatal(err)
 		}
 	}

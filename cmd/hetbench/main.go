@@ -7,6 +7,7 @@
 //	hetbench                    # run everything, text tables to stdout
 //	hetbench -exp table1,e5     # selected experiments
 //	hetbench -exp e2 -csv       # CSV output (for plotting)
+//	hetbench -json -out bench   # machine-readable BENCH_<exp>.json artifacts
 //	hetbench -seed 7            # reseed the workloads
 package main
 
@@ -28,6 +29,8 @@ func run() int {
 		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e15) or 'all'")
 		seedFlag = flag.Uint64("seed", 7, "workload seed")
 		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonFlag = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, wall ns, allocs) instead of text tables")
+		outFlag  = flag.String("out", ".", "output directory for -json artifacts")
 		listFlag = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -56,6 +59,21 @@ func run() int {
 		}
 	}
 	for _, id := range ids {
+		if *jsonFlag {
+			art, err := exp.Run(id, *seedFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
+				return 1
+			}
+			path, err := art.WriteFile(*outFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
+				return 1
+			}
+			fmt.Printf("%s\trounds=%d words=%d wall=%dms allocs=%d\n",
+				path, art.Model.Rounds, art.Model.TotalWords, art.WallNS/1e6, art.Allocs)
+			continue
+		}
 		table, err := all[id](*seedFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)

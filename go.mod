@@ -1,0 +1,3 @@
+module hetmpc
+
+go 1.22

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"math"
 	"math/rand/v2"
+	"slices"
 	"sort"
 
 	"hetmpc/internal/graph"
@@ -287,11 +289,11 @@ func greedySpanner(vertices []int, edges []clusterEdge, k int) []graph.Edge {
 	// Process in deterministic order.
 	es := make([]clusterEdge, len(edges))
 	copy(es, edges)
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
+	slices.SortFunc(es, func(a, b clusterEdge) int {
+		if c := cmp.Compare(a.U, b.U); c != 0 {
+			return c
 		}
-		return es[i].V < es[j].V
+		return cmp.Compare(a.V, b.V)
 	})
 	var out []graph.Edge
 	for _, e := range es {
@@ -320,11 +322,6 @@ func dedupeEdges(edges []graph.Edge) []graph.Edge {
 		seen[key] = true
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
+	slices.SortFunc(out, graph.CompareEndpoints)
 	return out
 }

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -176,12 +177,11 @@ func listColorConflicts(n int, confEdges []graph.Edge, list func(int) []int) []i
 	for v := range adj {
 		verts = append(verts, v)
 	}
-	sort.Slice(verts, func(a, b int) bool {
-		da, db := len(adj[verts[a]]), len(adj[verts[b]])
-		if da != db {
-			return da > db
+	slices.SortFunc(verts, func(a, b int) int {
+		if c := cmp.Compare(len(adj[b]), len(adj[a])); c != 0 {
+			return c
 		}
-		return verts[a] < verts[b]
+		return cmp.Compare(a, b)
 	})
 	colors := make([]int, n)
 	for i := range colors {

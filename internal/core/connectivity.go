@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"hetmpc/internal/graph"
@@ -70,6 +71,10 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 	// aggregation with the linear Merge combine.
 	items := make([][]prims.KV[*sketch.Sketch], kk)
 	if err := c.ForSmall(func(i int) error {
+		arenas := make([]*sketch.Arena, phases)
+		for t := range arenas {
+			arenas[t] = families[t].NewArena(universe)
+		}
 		partial := make(map[int64]*sketch.Sketch)
 		for _, e := range edges[i] {
 			for t := 0; t < phases; t++ {
@@ -77,7 +82,7 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 					key := int64(t)*int64(n) + int64(v)
 					s, ok := partial[key]
 					if !ok {
-						s = families[t].NewSketch(universe)
+						s = arenas[t].NewSketch()
 						partial[key] = s
 					}
 					families[t].AddEdgeIncidence(s, v, e, n)
@@ -88,7 +93,7 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 		for key := range partial {
 			keys = append(keys, key)
 		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		slices.Sort(keys)
 		for _, key := range keys {
 			items[i] = append(items[i], prims.KV[*sketch.Sketch]{K: key, V: partial[key]})
 		}
@@ -96,13 +101,14 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 	}); err != nil {
 		return nil, err
 	}
+	// The combine merges in place: AggregateByKey passes ownership of both
+	// arguments, and nothing reads a partial sketch after it is combined.
 	combine := func(a, b *sketch.Sketch) *sketch.Sketch {
-		out := a.Clone()
-		if err := out.Merge(b); err != nil {
+		if err := a.Merge(b); err != nil {
 			// Same family by construction; a mismatch is a bug.
 			panic(err)
 		}
-		return out
+		return a
 	}
 	_, atLarge, err := prims.AggregateByKey(c, items, skWords, combine, true)
 	if err != nil {

@@ -18,7 +18,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -41,14 +42,17 @@ const cEdgeWords = 5
 func (e cEdge) orig() graph.Edge { return graph.NewEdge(e.OU, e.OV, e.W) }
 
 // lessByWeight orders contracted edges by unique weight.
-func (e cEdge) lessByWeight(o cEdge) bool {
-	if e.W != o.W {
-		return e.W < o.W
+func (e cEdge) lessByWeight(o cEdge) bool { return e.cmpByWeight(o) < 0 }
+
+// cmpByWeight is the three-way unique-weight order on contracted edges.
+func (e cEdge) cmpByWeight(o cEdge) int {
+	if c := cmp.Compare(e.W, o.W); c != 0 {
+		return c
 	}
-	if e.OU != o.OU {
-		return e.OU < o.OU
+	if c := cmp.Compare(e.OU, o.OU); c != 0 {
+		return c
 	}
-	return e.OV < o.OV
+	return cmp.Compare(e.OV, o.OV)
 }
 
 // pairKey packs an unordered contracted vertex pair into an int64 key.
@@ -84,7 +88,7 @@ func distinctEndpoints(edges []cEdge) []int64 {
 			}
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -162,7 +163,7 @@ func MaximalMatching(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) {
 			highs = append(highs, v)
 		}
 	}
-	sort.Slice(highs, func(a, b int) bool { return highs[a] < highs[b] })
+	slices.Sort(highs)
 	for _, v := range highs {
 		if matchedAt[v] {
 			continue
@@ -326,14 +327,11 @@ func MatchingFiltering(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) 
 }
 
 func sortEdgesStable(es []graph.Edge) {
-	sort.SliceStable(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
+	slices.SortStableFunc(es, func(a, b graph.Edge) int {
+		if c := graph.CompareEndpoints(a, b); c != 0 {
+			return c
 		}
-		if es[i].V != es[j].V {
-			return es[i].V < es[j].V
-		}
-		return es[i].W < es[j].W
+		return cmp.Compare(a.W, b.W)
 	})
 }
 
@@ -349,7 +347,7 @@ func endpointNeedsOf(edges [][]graph.Edge) [][]int64 {
 				}
 			}
 		}
-		sort.Slice(needs[i], func(a, b int) bool { return needs[i][a] < needs[i][b] })
+		slices.Sort(needs[i])
 	}
 	return needs
 }

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -135,7 +135,7 @@ func minCutTrial(c *mpc.Cluster, edges [][]graph.Edge, needs [][]int64, n int, c
 	for v := range atLarge {
 		keys = append(keys, v)
 	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	slices.Sort(keys)
 	for _, v := range keys {
 		to := atLarge[v]
 		dsu.Union(int(v), to.E1.Other(int(v)))
@@ -214,7 +214,7 @@ func minCutTrial(c *mpc.Cluster, edges [][]graph.Edge, needs [][]int64, n int, c
 	for key := range sampledPairs {
 		spKeys = append(spKeys, key)
 	}
-	sort.Slice(spKeys, func(a, b int) bool { return spKeys[a] < spKeys[b] })
+	slices.Sort(spKeys)
 	for _, key := range spKeys {
 		dsu.Union(int(key/int64(n)), int(key%int64(n)))
 	}

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -152,12 +153,11 @@ func MIS(c *mpc.Cluster, g *graph.Graph) (*MISResult, error) {
 				prefix = append(prefix, v)
 			}
 		}
-		sort.Slice(prefix, func(a, b int) bool {
-			pa, pb := pr(prefix[a]), pr(prefix[b])
-			if pa != pb {
-				return pa < pb
+		slices.SortFunc(prefix, func(a, b int) int {
+			if c := cmp.Compare(pr(a), pr(b)); c != 0 {
+				return c
 			}
-			return prefix[a] < prefix[b]
+			return cmp.Compare(a, b)
 		})
 		var newlyDead []int
 		for _, v := range prefix {
@@ -260,7 +260,7 @@ func rootsToKVsCore[V any](c *mpc.Cluster, roots []map[int64]V) [][]prims.KV[V] 
 		for key, v := range roots[i] {
 			out[i] = append(out[i], prims.KV[V]{K: key, V: v})
 		}
-		sort.Slice(out[i], func(a, b int) bool { return out[i][a].K < out[i][b].K })
+		prims.SortKVsByKey(out[i])
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"hetmpc/internal/graph"
@@ -199,7 +200,7 @@ func MSTWithOptions(c *mpc.Cluster, g *graph.Graph, opts MSTOptions) (*MSTResult
 	}
 	res.SampleTries = tries
 
-	sort.Slice(mstEdges, func(i, j int) bool { return mstEdges[i].Less(mstEdges[j]) })
+	slices.SortFunc(mstEdges, graph.Edge.Compare)
 	res.Edges = mstEdges
 	for _, e := range mstEdges {
 		res.Weight += e.W
@@ -378,7 +379,7 @@ func dedupParallel(c *mpc.Cluster, edges [][]cEdge, n int) ([][]cEdge, error) {
 		for k := range roots[i] {
 			keys = append(keys, k)
 		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		slices.Sort(keys)
 		out[i] = make([]cEdge, 0, len(keys))
 		for _, k := range keys {
 			out[i] = append(out[i], roots[i][k])
@@ -435,7 +436,7 @@ func kktTry(
 	}
 
 	// Large machine: MSF F of the sample, under unique-weight order.
-	sort.Slice(sampleEdges, func(a, b int) bool { return sampleEdges[a].lessByWeight(sampleEdges[b]) })
+	slices.SortFunc(sampleEdges, cEdge.cmpByWeight)
 	fdsu := unionfind.New(n)
 	var forest []graph.Edge // on contracted ids, weights kept unique via W
 	for _, e := range sampleEdges {
@@ -508,7 +509,7 @@ func kktTry(
 
 	// Finish: MSF over the F-light edges (which contain all remaining MSF
 	// edges of the contracted graph), continuing the global contraction DSU.
-	sort.Slice(lightEdges, func(a, b int) bool { return lightEdges[a].lessByWeight(lightEdges[b]) })
+	slices.SortFunc(lightEdges, cEdge.cmpByWeight)
 	var out []graph.Edge
 	for _, e := range lightEdges {
 		if dsu.Union(e.U, e.V) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"slices"
 	"sort"
 
 	"hetmpc/internal/graph"
@@ -65,7 +66,7 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 				}
 			}
 		}
-		sort.Slice(needs[i], func(a, b int) bool { return needs[i][a] < needs[i][b] })
+		slices.Sort(needs[i])
 		return nil
 	}); err != nil {
 		return nil, err
@@ -124,7 +125,7 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 	for v := range degAtLarge {
 		vertsWithEdges = append(vertsWithEdges, v)
 	}
-	sort.Slice(vertsWithEdges, func(a, b int) bool { return vertsWithEdges[a] < vertsWithEdges[b] })
+	slices.Sort(vertsWithEdges)
 	dbits := make(map[int64]vbits, len(degAtLarge))
 	for _, v := range vertsWithEdges {
 		b := make([]uint64, bitWords)
@@ -375,7 +376,7 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 		for key := range ceRoots[i] {
 			keys = append(keys, key)
 		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		slices.Sort(keys)
 		for _, key := range keys {
 			lvl := int(key / n2)
 			perLvl[i][lvl] = append(perLvl[i][lvl], ceRoots[i][key])
@@ -574,7 +575,7 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 				}
 			}
 		}
-		sort.Slice(tblNeeds[i], func(a, b int) bool { return tblNeeds[i][a] < tblNeeds[i][b] })
+		slices.Sort(tblNeeds[i])
 		return nil
 	}); err != nil {
 		return nil, err
@@ -652,7 +653,7 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 		for key := range remRoots[i] {
 			keys = append(keys, key)
 		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		slices.Sort(keys)
 		for _, key := range keys {
 			remData[i] = append(remData[i], remRoots[i][key].Orig)
 		}

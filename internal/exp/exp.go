@@ -11,12 +11,13 @@ import (
 	"strings"
 )
 
-// Table is a rendered experiment artifact: a titled grid of cells.
+// Table is a rendered experiment artifact: a titled grid of cells. The JSON
+// field names are part of the BENCH_*.json wire format.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a row of cells (stringified with %v).

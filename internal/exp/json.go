@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"hetmpc/internal/mpc"
+)
+
+// ModelStats sums the in-model communication metrics of every cluster an
+// experiment ran (one experiment typically builds several clusters: the
+// baseline, heterogeneous and superlinear regimes of each row).
+type ModelStats struct {
+	Clusters     int   `json:"clusters"`
+	Rounds       int   `json:"rounds"`
+	Messages     int64 `json:"messages"`
+	TotalWords   int64 `json:"total_words"`
+	MaxSendWords int   `json:"max_send_words"`
+	MaxRecvWords int   `json:"max_recv_words"`
+}
+
+func (m *ModelStats) add(s mpc.Stats) {
+	m.Clusters++
+	m.Rounds += s.Rounds
+	m.Messages += s.Messages
+	m.TotalWords += s.TotalWords
+	if s.MaxSendWords > m.MaxSendWords {
+		m.MaxSendWords = s.MaxSendWords
+	}
+	if s.MaxRecvWords > m.MaxRecvWords {
+		m.MaxRecvWords = s.MaxRecvWords
+	}
+}
+
+// Artifact is one machine-readable bench record: the experiment's table plus
+// the measured model metrics (rounds, words) and host metrics (wall-clock
+// ns, allocations). It is the schema of the BENCH_<exp>.json files that
+// track the perf trajectory across PRs.
+type Artifact struct {
+	Exp        string     `json:"exp"`
+	Seed       uint64     `json:"seed"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	WallNS     int64      `json:"wall_ns"`
+	Allocs     uint64     `json:"allocs"`
+	AllocBytes uint64     `json:"alloc_bytes"`
+	Model      ModelStats `json:"model"`
+	Table      *Table     `json:"table"`
+}
+
+// tracker collects the clusters built through newHet/newSub while a Run is
+// in flight, so Run can sum their stats without threading a context through
+// every experiment. The tracker is global state, so runMu serializes whole
+// Run calls; tracker.Mutex only guards field access from the constructors.
+var runMu sync.Mutex
+
+var tracker struct {
+	sync.Mutex
+	active   bool
+	clusters []*mpc.Cluster
+}
+
+func trackCluster(c *mpc.Cluster) {
+	tracker.Lock()
+	if tracker.active {
+		tracker.clusters = append(tracker.clusters, c)
+	}
+	tracker.Unlock()
+}
+
+// Run executes one experiment by id and wraps its table in an Artifact with
+// model and host metrics attached.
+func Run(id string, seed uint64) (*Artifact, error) {
+	fn := All()[id]
+	if fn == nil {
+		return nil, fmt.Errorf("exp: unknown experiment %q", id)
+	}
+	runMu.Lock()
+	defer runMu.Unlock()
+	tracker.Lock()
+	tracker.active = true
+	tracker.clusters = tracker.clusters[:0]
+	tracker.Unlock()
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	table, err := fn(seed)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	tracker.Lock()
+	clusters := tracker.clusters
+	tracker.clusters = nil
+	tracker.active = false
+	tracker.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Artifact{
+		Exp:        id,
+		Seed:       seed,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		WallNS:     wall.Nanoseconds(),
+		Allocs:     msAfter.Mallocs - msBefore.Mallocs,
+		AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
+		Table:      table,
+	}
+	for _, c := range clusters {
+		a.Model.add(c.Stats())
+	}
+	return a, nil
+}
+
+// WriteFile writes the artifact as BENCH_<exp>.json under dir (created if
+// missing) and returns the path.
+func (a *Artifact) WriteFile(dir string) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+a.Exp+".json")
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

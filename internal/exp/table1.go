@@ -19,11 +19,19 @@ const (
 )
 
 func newHet(n, m int, f float64, seed uint64) (*mpc.Cluster, error) {
-	return mpc.New(mpc.Config{N: n, M: m, F: f, Seed: seed})
+	c, err := mpc.New(mpc.Config{N: n, M: m, F: f, Seed: seed})
+	if err == nil {
+		trackCluster(c)
+	}
+	return c, err
 }
 
 func newSub(n, m int, seed uint64) (*mpc.Cluster, error) {
-	return mpc.New(mpc.Config{N: n, M: m, NoLarge: true, Seed: seed})
+	c, err := mpc.New(mpc.Config{N: n, M: m, NoLarge: true, Seed: seed})
+	if err == nil {
+		trackCluster(c)
+	}
+	return c, err
 }
 
 // Table1 reproduces the paper's Table 1: for each problem it measures the

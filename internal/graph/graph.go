@@ -12,8 +12,9 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Edge is an undirected edge with U < V and positive integer weight W.
@@ -36,14 +37,26 @@ func (e Edge) Key(n int) int64 { return int64(e.U)*int64(n) + int64(e.V) }
 
 // Less orders edges by (W, U, V); this is the unique-weight tie-breaking
 // order used by every MST-related computation.
-func (e Edge) Less(o Edge) bool {
-	if e.W != o.W {
-		return e.W < o.W
+func (e Edge) Less(o Edge) bool { return e.Compare(o) < 0 }
+
+// Compare is the three-way (W, U, V) order, for the generic slices sorts.
+func (e Edge) Compare(o Edge) int {
+	if c := cmp.Compare(e.W, o.W); c != 0 {
+		return c
 	}
-	if e.U != o.U {
-		return e.U < o.U
+	if c := cmp.Compare(e.U, o.U); c != 0 {
+		return c
 	}
-	return e.V < o.V
+	return cmp.Compare(e.V, o.V)
+}
+
+// CompareEndpoints is the three-way (U, V) order, ignoring weights (the
+// deterministic output order of unweighted edge lists).
+func CompareEndpoints(a, b Edge) int {
+	if c := cmp.Compare(a.U, b.U); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.V, b.V)
 }
 
 // Other returns the endpoint of e that is not x.
@@ -153,7 +166,7 @@ func (g *Graph) Unweighted() *Graph {
 
 // SortEdges sorts the edge list in (W, U, V) order, in place.
 func (g *Graph) SortEdges() {
-	sort.Slice(g.Edges, func(i, j int) bool { return g.Edges[i].Less(g.Edges[j]) })
+	slices.SortFunc(g.Edges, Edge.Compare)
 }
 
 // TotalWeight returns the sum of all edge weights.

@@ -3,7 +3,7 @@ package graph
 import (
 	"container/heap"
 	"math"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/unionfind"
 )
@@ -14,7 +14,7 @@ import (
 func KruskalMSF(g *Graph) ([]Edge, int64) {
 	edges := make([]Edge, len(g.Edges))
 	copy(edges, g.Edges)
-	sort.Slice(edges, func(i, j int) bool { return edges[i].Less(edges[j]) })
+	slices.SortFunc(edges, Edge.Compare)
 	dsu := unionfind.New(g.N)
 	out := make([]Edge, 0, g.N-1)
 	var total int64

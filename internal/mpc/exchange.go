@@ -1,0 +1,320 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// The exchange engine routes one synchronous round as a batched plan instead
+// of per-message appends:
+//
+//  1. plan (parallel over senders): stamp From, validate destinations, and
+//     build per-sender destination entries — (destination, count, words) in
+//     first-seen order — so capacity accounting reads running counters
+//     instead of re-walking messages;
+//  2. layout (sequential, O(#entries + K)): assign every entry its start
+//     offset within the destination inbox, in the fixed sender order (large
+//     machine first, then small machines 0..K-1), and check the receive
+//     caps against the per-destination word totals;
+//  3. deliver (parallel over senders): copy messages into a single flat
+//     inbox allocation at their precomputed offsets.
+//
+// Because offsets are fixed in step 2 before any copying starts, the
+// delivered inbox contents and order are identical under any GOMAXPROCS
+// setting — delivery order remains "large machine's messages first, then
+// small senders in increasing id, each sender's messages in submission
+// order". All validation errors are collected and reported in that same
+// deterministic order. Scratch state (plans, counters, worker slot maps) is
+// pooled on the Cluster and reused across rounds, so a steady-state round
+// performs exactly two allocations: the flat message array and the top-level
+// inbox index, both of which are handed to the caller.
+//
+// Exchange is not safe for concurrent use; the model is synchronous rounds.
+
+// destEntry is one (sender, destination) routing entry of the round plan.
+type destEntry struct {
+	slot  int // destination slot: 0 = large machine, 1+i = small machine i
+	count int // messages from this sender to this destination
+	words int // words from this sender to this destination
+	start int // offset of the first message within the destination inbox;
+	// reused as the copy cursor during delivery
+}
+
+// senderPlan is one sender's routing plan for the round.
+type senderPlan struct {
+	from    int
+	msgs    []Msg
+	words   int // total words sent (send-cap accounting)
+	entries []destEntry
+	err     error // first validation/cap error of this sender
+}
+
+// exchScratch holds the pooled per-round routing state.
+type exchScratch struct {
+	plans     []senderPlan
+	recvCount []int // per destination slot, messages received
+	recvWords []int // per destination slot, words received
+	slotBase  []int // per destination slot, base offset in the flat inbox
+	slotPool  sync.Pool
+}
+
+func newExchScratch(k int) *exchScratch {
+	sc := &exchScratch{
+		recvCount: make([]int, k+1),
+		recvWords: make([]int, k+1),
+		slotBase:  make([]int, k+1),
+	}
+	sc.slotPool.New = func() any {
+		s := make([]int32, k+1)
+		return &s
+	}
+	return sc
+}
+
+// destSlot maps a message destination to its slot, validating it.
+func (c *Cluster) destSlot(from, to int) (int, error) {
+	if to == Large {
+		if !c.HasLarge() {
+			return 0, fmt.Errorf("mpc: machine %d sent to the large machine but the cluster has none", from)
+		}
+		return 0, nil
+	}
+	if to < 0 || to >= c.k {
+		return 0, fmt.Errorf("mpc: machine %d sent to invalid machine %d", from, to)
+	}
+	return 1 + to, nil
+}
+
+// Exchange executes one synchronous communication round. outs[i] holds the
+// messages sent by small machine i (outs may be nil or shorter than K for
+// rounds where few machines speak); outLarge holds the large machine's
+// messages. It returns the delivered inboxes. Send and receive volumes are
+// checked against the per-machine capacities; violations wrap ErrCapacity
+// and deliver nothing.
+func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge []Msg, err error) {
+	if c.stats.Rounds >= c.cfg.MaxRounds {
+		return nil, nil, fmt.Errorf("%w: %d rounds", ErrRounds, c.stats.Rounds)
+	}
+	c.stats.Rounds++
+	ins = make([][]Msg, c.k)
+
+	// Assemble the sender list in the deterministic delivery order. Plans
+	// are recycled in place so their entry slices keep their capacity.
+	sc := c.exch
+	plans := sc.plans[:0]
+	totalMsgs := 0
+	addPlan := func(from int, msgs []Msg) {
+		if len(plans) < cap(plans) {
+			plans = plans[:len(plans)+1]
+		} else {
+			plans = append(plans, senderPlan{})
+		}
+		p := &plans[len(plans)-1]
+		p.from, p.msgs = from, msgs
+		totalMsgs += len(msgs)
+	}
+	if len(outLarge) > 0 {
+		if !c.HasLarge() {
+			return nil, nil, errors.New("mpc: outLarge non-empty but the cluster has no large machine")
+		}
+		addPlan(Large, outLarge)
+	}
+	for i := 0; i < len(outs) && i < c.k; i++ {
+		if len(outs[i]) == 0 {
+			continue
+		}
+		addPlan(i, outs[i])
+	}
+	sc.plans = plans
+	if len(plans) == 0 {
+		return ins, nil, nil
+	}
+	// Goroutine fan-out only pays for itself on heavy rounds; light rounds
+	// run the same phases inline (the result is identical either way — the
+	// merge order is fixed by the offsets, not the schedule).
+	serial := totalMsgs < serialRoundThreshold
+	defer func() {
+		// Reset only the touched counters, so the reset cost tracks traffic.
+		for s := range plans {
+			for _, e := range plans[s].entries {
+				sc.recvCount[e.slot] = 0
+				sc.recvWords[e.slot] = 0
+			}
+			plans[s].entries = plans[s].entries[:0]
+			plans[s].msgs = nil
+			plans[s].err = nil
+		}
+	}()
+
+	// Phase 1: stamp, validate and count, in parallel over senders. Errors
+	// are recorded per sender and reported in sender order below, so the
+	// surfaced error does not depend on goroutine scheduling.
+	if serial {
+		slotOf := sc.getSlots()
+		for s := range plans {
+			c.planSender(&plans[s], slotOf)
+		}
+		sc.putSlots(slotOf)
+	} else {
+		_ = parallelN(len(plans), func(s int) error {
+			slotOf := sc.getSlots()
+			c.planSender(&plans[s], slotOf)
+			sc.putSlots(slotOf)
+			return nil
+		})
+	}
+	for s := range plans {
+		if plans[s].err != nil {
+			return nil, nil, plans[s].err
+		}
+	}
+
+	// Phase 2: offsets and receive-cap accounting, in sender order.
+	for s := range plans {
+		p := &plans[s]
+		for ei := range p.entries {
+			e := &p.entries[ei]
+			e.start = sc.recvCount[e.slot]
+			sc.recvCount[e.slot] += e.count
+			sc.recvWords[e.slot] += e.words
+		}
+	}
+	if sc.recvWords[0] > c.largeCap {
+		return nil, nil, fmt.Errorf("%w: large machine received > %d words in round %d",
+			ErrCapacity, c.largeCap, c.stats.Rounds)
+	}
+	for i := 0; i < c.k; i++ {
+		if sc.recvWords[1+i] > c.smallCap {
+			return nil, nil, fmt.Errorf("%w: machine %d received > %d words in round %d",
+				ErrCapacity, i, c.smallCap, c.stats.Rounds)
+		}
+	}
+
+	// Phase 3: carve the flat inbox array into per-destination windows. The
+	// three-index slices keep caller-side appends from clobbering neighbors.
+	flat := make([]Msg, totalMsgs)
+	base := 0
+	for slot := 0; slot <= c.k; slot++ {
+		sc.slotBase[slot] = base
+		base += sc.recvCount[slot]
+	}
+	if n := sc.recvCount[0]; n > 0 {
+		inLarge = flat[0:n:n]
+	}
+	for i := 0; i < c.k; i++ {
+		if n := sc.recvCount[1+i]; n > 0 {
+			b := sc.slotBase[1+i]
+			ins[i] = flat[b : b+n : b+n]
+		}
+	}
+
+	// Phase 4: copy messages to their precomputed offsets, in parallel over
+	// senders. Offsets are disjoint, so the writes race with nothing and the
+	// result is schedule-independent.
+	if serial {
+		slotOf := sc.getSlots()
+		for s := range plans {
+			sc.copySender(&plans[s], slotOf, flat)
+		}
+		sc.putSlots(slotOf)
+	} else {
+		_ = parallelN(len(plans), func(s int) error {
+			slotOf := sc.getSlots()
+			sc.copySender(&plans[s], slotOf, flat)
+			sc.putSlots(slotOf)
+			return nil
+		})
+	}
+
+	// Stats, from the running counters (no message re-walk).
+	maxRecv := sc.recvWords[0]
+	var totalWords int64
+	for s := range plans {
+		p := &plans[s]
+		totalWords += int64(p.words)
+		if p.words > c.stats.MaxSendWords {
+			c.stats.MaxSendWords = p.words
+		}
+		for _, e := range p.entries {
+			if w := sc.recvWords[e.slot]; w > maxRecv {
+				maxRecv = w
+			}
+		}
+	}
+	c.stats.Messages += int64(totalMsgs)
+	c.stats.TotalWords += totalWords
+	if maxRecv > c.stats.MaxRecvWords {
+		c.stats.MaxRecvWords = maxRecv
+	}
+	return ins, inLarge, nil
+}
+
+// serialRoundThreshold is the message count below which the routing phases
+// run inline: goroutine fan-out costs more than it saves on light rounds.
+const serialRoundThreshold = 2048
+
+// planSender stamps From, validates destinations, builds the sender's
+// destination entries and checks its send cap. slotOf is a zeroed scratch
+// map (destination slot → 1+entry index) and is re-zeroed before returning.
+func (c *Cluster) planSender(p *senderPlan, slotOf []int32) {
+	words := 0
+	for j := range p.msgs {
+		m := &p.msgs[j]
+		m.From = p.from
+		words += m.Words
+		slot, derr := c.destSlot(p.from, m.To)
+		if derr != nil {
+			if p.err == nil {
+				p.err = derr
+			}
+			continue
+		}
+		e := slotOf[slot]
+		if e == 0 {
+			p.entries = append(p.entries, destEntry{slot: slot})
+			e = int32(len(p.entries))
+			slotOf[slot] = e
+		}
+		ent := &p.entries[e-1]
+		ent.count++
+		ent.words += m.Words
+	}
+	p.words = words
+	if p.err == nil && words > c.capOf(p.from) {
+		p.err = fmt.Errorf("%w: machine %d sent %d > %d words in round %d",
+			ErrCapacity, p.from, words, c.capOf(p.from), c.stats.Rounds)
+	}
+	for _, ent := range p.entries {
+		slotOf[ent.slot] = 0
+	}
+}
+
+// copySender copies one sender's messages into the flat inbox array at the
+// offsets fixed during layout. slotOf is a zeroed scratch map and is
+// re-zeroed before returning.
+func (sc *exchScratch) copySender(p *senderPlan, slotOf []int32, flat []Msg) {
+	for ei := range p.entries {
+		slotOf[p.entries[ei].slot] = int32(ei + 1)
+	}
+	for j := range p.msgs {
+		m := &p.msgs[j]
+		slot := 1 + m.To
+		if m.To == Large {
+			slot = 0
+		}
+		ent := &p.entries[slotOf[slot]-1]
+		flat[sc.slotBase[slot]+ent.start] = *m
+		ent.start++
+	}
+	for ei := range p.entries {
+		slotOf[p.entries[ei].slot] = 0
+	}
+}
+
+// getSlots hands out a zeroed per-worker destination→entry map.
+func (sc *exchScratch) getSlots() []int32 { return *sc.slotPool.Get().(*[]int32) }
+
+// putSlots returns a slot map to the pool; the caller must have re-zeroed
+// the entries it touched.
+func (sc *exchScratch) putSlots(s []int32) { sc.slotPool.Put(&s) }

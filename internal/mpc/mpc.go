@@ -69,13 +69,14 @@ type Config struct {
 	MaxRounds int    // safety valve; default 100000
 }
 
-// Stats accumulates run metrics.
+// Stats accumulates run metrics. The JSON field names are the stable wire
+// format of the bench artifacts (BENCH_*.json); see internal/exp.
 type Stats struct {
-	Rounds       int
-	Messages     int64
-	TotalWords   int64
-	MaxSendWords int // max words sent by one machine in one round
-	MaxRecvWords int // max words received by one machine in one round
+	Rounds       int   `json:"rounds"`
+	Messages     int64 `json:"messages"`
+	TotalWords   int64 `json:"total_words"`
+	MaxSendWords int   `json:"max_send_words"` // max words sent by one machine in one round
+	MaxRecvWords int   `json:"max_recv_words"` // max words received by one machine in one round
 }
 
 // Cluster is a running heterogeneous MPC system.
@@ -87,6 +88,7 @@ type Cluster struct {
 	rngs     []*rand.Rand
 	largeRng *rand.Rand
 	stats    Stats
+	exch     *exchScratch
 }
 
 // New validates cfg, fills defaults and returns a cluster.
@@ -143,6 +145,7 @@ func New(cfg Config) (*Cluster, error) {
 		largeCap: largeCap,
 		rngs:     make([]*rand.Rand, k),
 		largeRng: xrand.New(xrand.Split(cfg.Seed, 0)),
+		exch:     newExchScratch(k),
 	}
 	for i := range c.rngs {
 		c.rngs[i] = xrand.New(xrand.Split(cfg.Seed, uint64(i)+1))
@@ -198,85 +201,6 @@ func (c *Cluster) capOf(id int) int {
 		return c.largeCap
 	}
 	return c.smallCap
-}
-
-// Exchange executes one synchronous communication round. outs[i] holds the
-// messages sent by small machine i (outs may be nil or shorter than K for
-// rounds where few machines speak); outLarge holds the large machine's
-// messages. It returns the delivered inboxes. Send and receive volumes are
-// checked against the per-machine capacities.
-func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge []Msg, err error) {
-	if c.stats.Rounds >= c.cfg.MaxRounds {
-		return nil, nil, fmt.Errorf("%w: %d rounds", ErrRounds, c.stats.Rounds)
-	}
-	c.stats.Rounds++
-	ins = make([][]Msg, c.k)
-	recvWords := make([]int, c.k)
-	recvLarge := 0
-
-	deliver := func(from int, msgs []Msg) error {
-		words := 0
-		for i := range msgs {
-			m := &msgs[i]
-			m.From = from
-			words += m.Words
-			if m.To == Large {
-				if !c.HasLarge() {
-					return fmt.Errorf("mpc: machine %d sent to the large machine but the cluster has none", from)
-				}
-				recvLarge += m.Words
-				if recvLarge > c.largeCap {
-					return fmt.Errorf("%w: large machine received > %d words in round %d", ErrCapacity, c.largeCap, c.stats.Rounds)
-				}
-				inLarge = append(inLarge, *m)
-				continue
-			}
-			if m.To < 0 || m.To >= c.k {
-				return fmt.Errorf("mpc: machine %d sent to invalid machine %d", from, m.To)
-			}
-			recvWords[m.To] += m.Words
-			if recvWords[m.To] > c.smallCap {
-				return fmt.Errorf("%w: machine %d received > %d words in round %d", ErrCapacity, m.To, c.smallCap, c.stats.Rounds)
-			}
-			ins[m.To] = append(ins[m.To], *m)
-		}
-		if words > c.capOf(from) {
-			return fmt.Errorf("%w: machine %d sent %d > %d words in round %d", ErrCapacity, from, words, c.capOf(from), c.stats.Rounds)
-		}
-		if words > c.stats.MaxSendWords {
-			c.stats.MaxSendWords = words
-		}
-		c.stats.Messages += int64(len(msgs))
-		c.stats.TotalWords += int64(words)
-		return nil
-	}
-
-	// Deterministic delivery order: large machine first, then small 0..K-1.
-	if len(outLarge) > 0 {
-		if !c.HasLarge() {
-			return nil, nil, errors.New("mpc: outLarge non-empty but the cluster has no large machine")
-		}
-		if err := deliver(Large, outLarge); err != nil {
-			return nil, nil, err
-		}
-	}
-	for i := 0; i < len(outs) && i < c.k; i++ {
-		if len(outs[i]) == 0 {
-			continue
-		}
-		if err := deliver(i, outs[i]); err != nil {
-			return nil, nil, err
-		}
-	}
-	for _, w := range recvWords {
-		if w > c.stats.MaxRecvWords {
-			c.stats.MaxRecvWords = w
-		}
-	}
-	if recvLarge > c.stats.MaxRecvWords {
-		c.stats.MaxRecvWords = recvLarge
-	}
-	return ins, inLarge, nil
 }
 
 func ipow(b, e int) int {

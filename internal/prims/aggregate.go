@@ -19,8 +19,10 @@ import (
 // the total fitting the large machine's capacity (≤ Õ(n) keys, as in every
 // use in the paper).
 //
-// combine must be associative and commutative. vwords is the value size in
-// words.
+// combine must be associative and commutative. It receives ownership of both
+// arguments: for pointer-typed V it may mutate and return `a` (no value it
+// has combined away is ever read again), which lets sketch-like values merge
+// without cloning. vwords is the value size in words.
 func AggregateByKey[V any](
 	c *mpc.Cluster,
 	items [][]KV[V],
@@ -50,7 +52,7 @@ func AggregateByKey[V any](
 		for key, v := range m {
 			out = append(out, KV[V]{K: key, V: v})
 		}
-		sortKVs(out)
+		SortKVsByKey(out)
 		partials[i] = out
 		return nil
 	}); err != nil {
@@ -101,9 +103,10 @@ func AggregateByKey[V any](
 	// treeDepth(K, b), so the round count depends only on public parameters.
 	b := branching(c, vwords+1)
 	depth := treeDepth(k, b)
-	// Per machine: value for each spanning key it participates in.
+	// Per machine: value for each spanning key it participates in (local
+	// computation, parallel over the small-machine axis).
 	local := make([]map[int64]V, k)
-	for i := 0; i < k; i++ {
+	if err := c.ForSmall(func(i int) error {
 		local[i] = make(map[int64]V, len(instr[i]))
 		for _, kv := range sorted[i] {
 			for _, si := range instr[i] {
@@ -112,6 +115,9 @@ func AggregateByKey[V any](
 				}
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 	type upMsg struct {
 		Key int64
@@ -119,7 +125,7 @@ func AggregateByKey[V any](
 	}
 	for d := depth; d >= 1; d-- {
 		outs := make([][]mpc.Msg, k)
-		for i := 0; i < k; i++ {
+		if err := c.ForSmall(func(i int) error {
 			for _, si := range instr[i] {
 				p := i - si.A
 				size := si.B - si.A + 1
@@ -134,16 +140,19 @@ func AggregateByKey[V any](
 				outs[i] = append(outs[i], mpc.Msg{To: parent, Words: vwords + 1, Data: upMsg{Key: si.Key, Val: v}})
 				delete(local[i], si.Key)
 			}
+			return nil
+		}); err != nil {
+			return nil, nil, err
 		}
 		ins, _, err := c.Exchange(outs, nil)
 		if err != nil {
 			return nil, nil, err
 		}
-		for i, inbox := range ins {
-			for _, m := range inbox {
+		if err := c.ForSmall(func(i int) error {
+			for _, m := range ins[i] {
 				um, ok := m.Data.(upMsg)
 				if !ok {
-					return nil, nil, fmt.Errorf("prims: unexpected aggregate payload %T", m.Data)
+					return fmt.Errorf("prims: unexpected aggregate payload %T", m.Data)
 				}
 				if cur, ok := local[i][um.Key]; ok {
 					local[i][um.Key] = combine(cur, um.Val)
@@ -151,23 +160,23 @@ func AggregateByKey[V any](
 					local[i][um.Key] = um.Val
 				}
 			}
+			return nil
+		}); err != nil {
+			return nil, nil, err
 		}
 	}
 
 	// Assemble per-machine final maps: all non-spanning keys plus spanning
 	// keys rooted here.
-	spanKey := make([]map[int64]bool, k)
-	for i := 0; i < k; i++ {
-		spanKey[i] = make(map[int64]bool, len(instr[i]))
-		for _, si := range instr[i] {
-			spanKey[i][si.Key] = true
-		}
-	}
 	roots = make([]map[int64]V, k)
-	for i := 0; i < k; i++ {
+	if err := c.ForSmall(func(i int) error {
+		spanKey := make(map[int64]bool, len(instr[i]))
+		for _, si := range instr[i] {
+			spanKey[si.Key] = true
+		}
 		roots[i] = make(map[int64]V, len(sorted[i]))
 		for _, kv := range sorted[i] {
-			if !spanKey[i][kv.K] {
+			if !spanKey[kv.K] {
 				roots[i][kv.K] = kv.V
 			}
 		}
@@ -179,18 +188,24 @@ func AggregateByKey[V any](
 				roots[i][si.Key] = v
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 
 	if !gatherLarge {
 		return roots, nil, nil
 	}
 	flat := make([][]KV[V], k)
-	for i := 0; i < k; i++ {
+	if err := c.ForSmall(func(i int) error {
 		flat[i] = make([]KV[V], 0, len(roots[i]))
 		for key, v := range roots[i] {
 			flat[i] = append(flat[i], KV[V]{K: key, V: v})
 		}
-		sortKVs(flat[i])
+		SortKVsByKey(flat[i])
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 	all, err := GatherToLarge(c, flat, vwords+1)
 	if err != nil {

@@ -2,7 +2,7 @@ package prims
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/mpc"
 )
@@ -99,7 +99,7 @@ func Arrange[T any](
 			runs[r.Key] = append(runs[r.Key], RunPart{Machine: m.From, Count: r.Count})
 		}
 	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	slices.Sort(keys)
 	return &Arranged[T]{
 		Data:      sorted,
 		Keys:      keys,

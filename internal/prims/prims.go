@@ -19,8 +19,9 @@
 package prims
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/mpc"
 	"hetmpc/internal/xrand"
@@ -454,6 +455,6 @@ func hashKeyToMachine(key int64, k int) int {
 
 // sortKVs sorts a KV slice by key (stable within equal keys is not needed;
 // callers requiring total order add tiebreak data to the key).
-func sortKVs[V any](kvs []KV[V]) {
-	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].K < kvs[j].K })
+func SortKVsByKey[V any](kvs []KV[V]) {
+	slices.SortStableFunc(kvs, func(a, b KV[V]) int { return cmp.Compare(a.K, b.K) })
 }

@@ -2,7 +2,6 @@ package prims
 
 import (
 	"fmt"
-	"sort"
 
 	"hetmpc/internal/mpc"
 )
@@ -215,6 +214,6 @@ func DisseminateFromLarge[V any](c *mpc.Cluster, needs [][]int64, values map[int
 	for key, v := range values {
 		kvs = append(kvs, KV[V]{K: key, V: v})
 	}
-	sort.Slice(kvs, func(i, j int) bool { return kvs[i].K < kvs[j].K })
+	SortKVsByKey(kvs)
 	return SegmentedBroadcast(c, needs, nil, kvs, vwords)
 }

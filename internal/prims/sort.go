@@ -1,7 +1,9 @@
 package prims
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"hetmpc/internal/mpc"
@@ -22,6 +24,17 @@ func (k SortKey) Less(o SortKey) bool {
 		return k.B < o.B
 	}
 	return k.C < o.C
+}
+
+// Compare is the three-way lexicographic order on sort keys.
+func (k SortKey) Compare(o SortKey) int {
+	if c := cmp.Compare(k.A, o.A); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(k.B, o.B); c != 0 {
+		return c
+	}
+	return cmp.Compare(k.C, o.C)
 }
 
 const sortKeyWords = 3
@@ -49,14 +62,16 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 	}
 
 	// Step 1: local sort (parallel local computation, no rounds).
+	byKey := func(a, b T) int { return key(a).Compare(key(b)) }
 	if err := c.ForSmall(func(i int) error {
-		sort.SliceStable(data[i], func(a, b int) bool { return key(data[i][a]).Less(key(data[i][b])) })
+		slices.SortStableFunc(data[i], byKey)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 
-	// Step 2: weighted key samples to the coordinator.
+	// Step 2: weighted key samples to the coordinator (sample extraction is
+	// local computation, parallel over the small-machine axis).
 	q := coordCap(c) / (2 * k * (sortKeyWords + 1))
 	if q < 1 {
 		q = 1
@@ -69,7 +84,7 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 		Count int
 	}
 	outs := make([][]mpc.Msg, k)
-	for i := 0; i < k; i++ {
+	if err := c.ForSmall(func(i int) error {
 		n := len(data[i])
 		take := q
 		if take > n {
@@ -80,6 +95,9 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 			keys = append(keys, key(data[i][j*n/take]))
 		}
 		outs[i] = []mpc.Msg{{To: coordinator(c), Words: len(keys)*sortKeyWords + 1, Data: sample{Keys: keys, Count: n}}}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	ins, inLarge, err := c.Exchange(outs, nil)
 	if err != nil {
@@ -111,7 +129,7 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 			samples = append(samples, weighted{key: kk, weight: w})
 		}
 	}
-	sort.SliceStable(samples, func(a, b int) bool { return samples[a].key.Less(samples[b].key) })
+	slices.SortStableFunc(samples, func(a, b weighted) int { return a.key.Compare(b.key) })
 	splitters := make([]SortKey, 0, k-1)
 	if len(samples) > 0 && total > 0 {
 		var cum float64
@@ -150,35 +168,36 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 		return nil, err
 	}
 	routeOuts := make([][]mpc.Msg, k)
-	for i := 0; i < k; i++ {
+	if err := c.ForSmall(func(i int) error {
 		for j := 0; j < k; j++ {
 			if len(buckets[i][j]) == 0 {
 				continue
 			}
 			routeOuts[i] = append(routeOuts[i], mpc.Msg{To: j, Words: len(buckets[i][j]) * itemWords, Data: chunk{Items: buckets[i][j]}})
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	ins, _, err = c.Exchange(routeOuts, nil)
 	if err != nil {
 		return nil, err
 	}
 	result := make([][]T, k)
-	for i, inboxI := range ins {
+	if err := c.ForSmall(func(i int) error {
 		n := 0
-		for _, m := range inboxI {
+		for _, m := range ins[i] {
 			ch, ok := m.Data.(chunk)
 			if !ok {
-				return nil, fmt.Errorf("prims: unexpected route payload %T", m.Data)
+				return fmt.Errorf("prims: unexpected route payload %T", m.Data)
 			}
 			n += len(ch.Items)
 		}
 		result[i] = make([]T, 0, n)
-		for _, m := range inboxI {
+		for _, m := range ins[i] {
 			result[i] = append(result[i], m.Data.(chunk).Items...)
 		}
-	}
-	if err := c.ForSmall(func(i int) error {
-		sort.SliceStable(result[i], func(a, b int) bool { return key(result[i][a]).Less(key(result[i][b])) })
+		slices.SortStableFunc(result[i], byKey)
 		return nil
 	}); err != nil {
 		return nil, err

@@ -134,6 +134,39 @@ func (f *Family) NewSketch(universe int64) *Sketch {
 // Words returns the communication size of the sketch in machine words.
 func (s *Sketch) Words() int { return 2 + 3*len(s.levels) }
 
+// Arena hands out sketches backed by chunked slab allocations, amortizing
+// the two allocations of NewSketch across arenaChunk sketches. Sketches from
+// an arena are ordinary sketches (merge, query, clone all work); the arena
+// itself is not safe for concurrent use — use one per goroutine.
+type Arena struct {
+	f        *Family
+	universe int64
+	sketches []Sketch
+	levels   []oneSparse
+}
+
+const arenaChunk = 64
+
+// NewArena returns an arena producing sketches of f over the universe.
+func (f *Family) NewArena(universe int64) *Arena {
+	return &Arena{f: f, universe: universe}
+}
+
+// NewSketch returns a fresh empty sketch from the arena's current slab.
+func (a *Arena) NewSketch() *Sketch {
+	if len(a.sketches) == 0 {
+		a.sketches = make([]Sketch, arenaChunk)
+		a.levels = make([]oneSparse, arenaChunk*a.f.levels)
+	}
+	s := &a.sketches[0]
+	a.sketches = a.sketches[1:]
+	s.familyID = a.f.id
+	s.universe = a.universe
+	s.levels = a.levels[:a.f.levels:a.f.levels]
+	a.levels = a.levels[a.f.levels:]
+	return s
+}
+
 // Add applies a single update: vector[idx] += val, with val ∈ {+1, -1}.
 func (f *Family) Add(s *Sketch, idx int64, val int) {
 	if val != 1 && val != -1 {

@@ -3,7 +3,7 @@ package sublinear
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -124,7 +124,7 @@ func MST(c *mpc.Cluster, g *graph.Graph) (*MSTResult, error) {
 			for k := range minRoots[i] {
 				keys = append(keys, k)
 			}
-			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			slices.Sort(keys)
 			for _, label := range keys {
 				mv := minRoots[i][label]
 				if !coin(phase, label) && coin(phase, mv.OtherLabel) {
@@ -148,7 +148,7 @@ func MST(c *mpc.Cluster, g *graph.Graph) (*MSTResult, error) {
 					}
 				}
 			}
-			sort.Slice(labelNeeds[i], func(a, b int) bool { return labelNeeds[i][a] < labelNeeds[i][b] })
+			slices.Sort(labelNeeds[i])
 			return nil
 		}); err != nil {
 			return nil, err
@@ -182,7 +182,7 @@ func MST(c *mpc.Cluster, g *graph.Graph) (*MSTResult, error) {
 	}
 
 	all := prims.Flatten(mstParts)
-	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+	slices.SortFunc(all, graph.Edge.Compare)
 	res.Edges = all
 	for _, e := range all {
 		res.Weight += e.W

@@ -2,7 +2,7 @@ package sublinear
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -136,7 +136,7 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 			for key := range minRoots[i] {
 				keys = append(keys, key)
 			}
-			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			slices.Sort(keys)
 			for _, key := range keys {
 				rv := minRoots[i][key]
 				spannerParts[i] = append(spannerParts[i], graph.NewEdge(int(rv.OU), int(rv.OV), rv.W))
@@ -221,7 +221,7 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 			for key := range remRoots[i] {
 				keys = append(keys, key)
 			}
-			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			slices.Sort(keys)
 			for _, key := range keys {
 				rv := remRoots[i][key]
 				spannerParts[i] = append(spannerParts[i], graph.NewEdge(int(rv.OU), int(rv.OV), rv.W))
@@ -243,12 +243,7 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 			out = append(out, e)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].U != out[b].U {
-			return out[a].U < out[b].U
-		}
-		return out[a].V < out[b].V
-	})
+	slices.SortFunc(out, graph.CompareEndpoints)
 	res.Edges = out
 	res.Stats = statsDelta(c, before)
 	return res, nil

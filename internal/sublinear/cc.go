@@ -3,7 +3,7 @@ package sublinear
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -122,7 +122,7 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*CCResult, error) {
 					labelNeeds[i] = append(labelNeeds[i], l)
 				}
 			}
-			sort.Slice(labelNeeds[i], func(a, b int) bool { return labelNeeds[i][a] < labelNeeds[i][b] })
+			slices.Sort(labelNeeds[i])
 			return nil
 		}); err != nil {
 			return nil, err

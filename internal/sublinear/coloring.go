@@ -3,7 +3,6 @@ package sublinear
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -47,7 +46,7 @@ func Coloring(c *mpc.Cluster, g *graph.Graph) (*ColoringResult, error) {
 		for v, d := range local {
 			degItems[i] = append(degItems[i], prims.KV[int64]{K: v, V: d})
 		}
-		sort.Slice(degItems[i], func(a, b int) bool { return degItems[i][a].K < degItems[i][b].K })
+		prims.SortKVsByKey(degItems[i])
 		return nil
 	}); err != nil {
 		return nil, err

@@ -14,7 +14,7 @@ package sublinear
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -193,7 +193,7 @@ func endpointNeeds(edges [][]graph.Edge) [][]int64 {
 				}
 			}
 		}
-		sort.Slice(needs[i], func(a, b int) bool { return needs[i][a] < needs[i][b] })
+		slices.Sort(needs[i])
 	}
 	return needs
 }
@@ -207,7 +207,7 @@ func rootsToKVs[V any](c *mpc.Cluster, roots []map[int64]V) [][]prims.KV[V] {
 		for key, v := range roots[i] {
 			out[i] = append(out[i], prims.KV[V]{K: key, V: v})
 		}
-		sort.Slice(out[i], func(a, b int) bool { return out[i][a].K < out[i][b].K })
+		prims.SortKVsByKey(out[i])
 	}
 	return out
 }
