@@ -1,10 +1,12 @@
 package hetmpc_test
 
 // One benchmark per evaluation artifact (DESIGN.md §2, EXPERIMENTS.md):
-// BenchmarkE1_Table1 regenerates the paper's Table 1; E2..E15 are the
-// figure-style sweeps. Each benchmark runs its experiment through the
-// heterogeneous-MPC simulator, validates every output against the exact
-// references, and reports measured model metrics via b.ReportMetric.
+// BenchmarkE1_Table1 regenerates the paper's Table 1; E2..E16 are the
+// figure-style sweeps; E17..E19 sweep heterogeneous machine profiles and
+// report the simulated makespan (DESIGN.md §6). Each benchmark runs its
+// experiment through the heterogeneous-MPC simulator, validates every
+// output against the exact references, and reports measured model metrics
+// via b.ReportMetric.
 //
 // Run everything once:
 //
@@ -49,6 +51,7 @@ func runExp(b *testing.B, id string) {
 	}
 	b.ReportMetric(float64(art.Model.Rounds), "rounds")
 	b.ReportMetric(float64(art.Model.TotalWords), "words")
+	b.ReportMetric(art.Model.Makespan, "makespan")
 	if dir := benchDir(); dir != "-" {
 		if _, err := art.WriteFile(dir); err != nil {
 			b.Fatal(err)
@@ -72,6 +75,9 @@ func BenchmarkE13_Coloring(b *testing.B)             { runExp(b, "e13") }
 func BenchmarkE14_TwoVsOneCycle(b *testing.B)        { runExp(b, "e14") }
 func BenchmarkE15_APSP(b *testing.B)                 { runExp(b, "e15") }
 func BenchmarkE16_MSTAblation(b *testing.B)          { runExp(b, "e16") }
+func BenchmarkE17_SkewPlacement(b *testing.B)        { runExp(b, "e17") }
+func BenchmarkE18_Stragglers(b *testing.B)           { runExp(b, "e18") }
+func BenchmarkE19_Bimodal(b *testing.B)              { runExp(b, "e19") }
 
 // --- direct algorithm micro-benchmarks with model-metric reporting ---
 

@@ -1,6 +1,6 @@
 // Command hetbench regenerates the paper's evaluation artifacts: the Table 1
-// comparison and the figure-style sweeps E2..E15 (see DESIGN.md §2 and
-// EXPERIMENTS.md).
+// comparison, the figure-style sweeps E2..E16, and the heterogeneous-profile
+// sweeps E17..E19 (see DESIGN.md §2/§6 and EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -9,6 +9,10 @@
 //	hetbench -exp e2 -csv       # CSV output (for plotting)
 //	hetbench -json -out bench   # machine-readable BENCH_<exp>.json artifacts
 //	hetbench -seed 7            # reseed the workloads
+//	hetbench -exp table1 -profile straggler:2:8
+//	                            # rebuild the clusters under a machine
+//	                            # profile (uniform, zipf:S[:FLOOR],
+//	                            # bimodal:SLOWFRAC:FACTOR, straggler:N:SLOW)
 package main
 
 import (
@@ -26,15 +30,20 @@ func main() {
 
 func run() int {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e15) or 'all'")
-		seedFlag = flag.Uint64("seed", 7, "workload seed")
-		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonFlag = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, wall ns, allocs) instead of text tables")
-		outFlag  = flag.String("out", ".", "output directory for -json artifacts")
-		listFlag = flag.Bool("list", false, "list experiment ids and exit")
+		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e19) or 'all'")
+		seedFlag    = flag.Uint64("seed", 7, "workload seed")
+		csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonFlag    = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, makespan, wall ns, allocs) instead of text tables")
+		outFlag     = flag.String("out", ".", "output directory for -json artifacts")
+		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
+		profileFlag = flag.String("profile", "", "machine profile applied to every experiment cluster: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN")
 	)
 	flag.Parse()
 
+	if err := exp.SetProfile(*profileFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "hetbench:", err)
+		return 2
+	}
 	all := exp.All()
 	if *listFlag {
 		for _, id := range exp.Order() {
@@ -70,8 +79,8 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
 				return 1
 			}
-			fmt.Printf("%s\trounds=%d words=%d wall=%dms allocs=%d\n",
-				path, art.Model.Rounds, art.Model.TotalWords, art.WallNS/1e6, art.Allocs)
+			fmt.Printf("%s\trounds=%d words=%d makespan=%.3g wall=%dms allocs=%d\n",
+				path, art.Model.Rounds, art.Model.TotalWords, art.Model.Makespan, art.WallNS/1e6, art.Allocs)
 			continue
 		}
 		table, err := all[id](*seedFlag)

@@ -10,6 +10,10 @@
 //	hetrun -alg connectivity -input graph.txt
 //	hetrun -alg mst -f 0.5            # superlinear large machine
 //	hetrun -alg baseline-mst          # sublinear regime (no large machine)
+//	hetrun -alg mst -profile straggler:2:8
+//	                                  # heterogeneous machine profile; the
+//	                                  # model line reports the simulated
+//	                                  # makespan under it
 package main
 
 import (
@@ -27,16 +31,17 @@ func main() {
 
 func run() int {
 	var (
-		alg   = flag.String("alg", "mst", "algorithm: mst, spanner, apsp, matching, matching-filter, connectivity, approx-mst, mincut, approx-mincut, mis, coloring, 2v1, baseline-mst, baseline-cc, baseline-mis, baseline-coloring, baseline-matching")
-		n     = flag.Int("n", 512, "vertices (generated workloads)")
-		m     = flag.Int("m", 4096, "edges (generated workloads)")
-		gen   = flag.String("gen", "gnm", "generator: gnm, connected, cycles, cycles2, hubs, grid, star")
-		input = flag.String("input", "", "read the graph from a file instead of generating")
-		seed  = flag.Uint64("seed", 1, "seed for the workload and the cluster")
-		gamma = flag.Float64("gamma", 0.5, "small-machine exponent γ")
-		f     = flag.Float64("f", 0, "large-machine extra exponent f")
-		k     = flag.Int("k", 4, "spanner parameter k")
-		eps   = flag.Float64("eps", 0.25, "approximation parameter ε")
+		alg     = flag.String("alg", "mst", "algorithm: mst, spanner, apsp, matching, matching-filter, connectivity, approx-mst, mincut, approx-mincut, mis, coloring, 2v1, baseline-mst, baseline-cc, baseline-mis, baseline-coloring, baseline-matching")
+		n       = flag.Int("n", 512, "vertices (generated workloads)")
+		m       = flag.Int("m", 4096, "edges (generated workloads)")
+		gen     = flag.String("gen", "gnm", "generator: gnm, connected, cycles, cycles2, hubs, grid, star")
+		input   = flag.String("input", "", "read the graph from a file instead of generating")
+		seed    = flag.Uint64("seed", 1, "seed for the workload and the cluster")
+		gamma   = flag.Float64("gamma", 0.5, "small-machine exponent γ")
+		f       = flag.Float64("f", 0, "large-machine extra exponent f")
+		k       = flag.Int("k", 4, "spanner parameter k")
+		eps     = flag.Float64("eps", 0.25, "approximation parameter ε")
+		profile = flag.String("profile", "", "machine profile: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN")
 	)
 	flag.Parse()
 
@@ -46,23 +51,33 @@ func run() int {
 		return 2
 	}
 	noLarge := len(*alg) > 9 && (*alg)[:9] == "baseline-"
-	c, err := hetmpc.NewCluster(hetmpc.Config{
+	cfg := hetmpc.Config{
 		N: g.N, M: g.M(), Gamma: *gamma, F: *f, Seed: *seed, NoLarge: noLarge,
-	})
+	}
+	cfg.Profile, err = hetmpc.ParseProfile(*profile, cfg.DeriveK())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
 		return 2
 	}
-	fmt.Printf("graph: n=%d m=%d Δ=%d avg-deg=%.1f | cluster: K=%d small-cap=%d large-cap=%d\n",
+	c, err := hetmpc.NewCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetrun:", err)
+		return 2
+	}
+	fmt.Printf("graph: n=%d m=%d Δ=%d avg-deg=%.1f | cluster: K=%d small-cap=%d large-cap=%d",
 		g.N, g.M(), g.MaxDegree(), g.AvgDegree(), c.K(), c.SmallCap(), c.LargeCap())
+	if p := c.Profile(); p != nil {
+		fmt.Printf(" profile=%s min-cap=%d", p.Name, c.MinSmallCap())
+	}
+	fmt.Println()
 
 	if err := dispatch(c, g, *alg, *k, *eps); err != nil {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
 		return 1
 	}
 	st := c.Stats()
-	fmt.Printf("model: rounds=%d messages=%d words=%d max-send=%d max-recv=%d\n",
-		st.Rounds, st.Messages, st.TotalWords, st.MaxSendWords, st.MaxRecvWords)
+	fmt.Printf("model: rounds=%d messages=%d words=%d max-send=%d max-recv=%d makespan=%.4g imbalance=%.2f\n",
+		st.Rounds, st.Messages, st.TotalWords, st.MaxSendWords, st.MaxRecvWords, st.Makespan, c.BusyImbalance())
 	return 0
 }
 

@@ -1,7 +1,15 @@
-// The heterogeneity dial (Theorems 3.1 and 5.5): giving the single large
-// machine superlinear memory n^{1+f} shrinks the round structure — MST's
-// Borůvka phases fall like log(log_n(m/n)/f) and matching's filtering
-// iterations like 1/f, reaching O(1) as the paper's abstract promises.
+// The heterogeneity dial, on both axes the simulator exposes.
+//
+// The paper's axis (Theorems 3.1 and 5.5): giving the single large machine
+// superlinear memory n^{1+f} shrinks the round structure — MST's Borůvka
+// phases fall like log(log_n(m/n)/f) and matching's filtering iterations
+// like 1/f, reaching O(1) as the abstract promises.
+//
+// The cost-model axis (DESIGN.md §6): per-machine speed profiles leave the
+// round structure untouched but move the simulated makespan — slowing half
+// the machines slows the whole cluster's clock at identical rounds.
+//
+// Run with:
 //
 //	go run ./examples/heterogeneity-dial
 package main
@@ -51,5 +59,33 @@ func main() {
 			log.Fatal("validation: ", err)
 		}
 		fmt.Printf("%6.2f | %11d | %6d\n", f, r.FilterIters, r.Stats.Rounds)
+	}
+
+	fmt.Println()
+	fmt.Println("machine profiles (DESIGN.md §6): slowing half the machines moves the makespan, not the rounds")
+	fmt.Println("(sketch connectivity, n=512 m=4096)")
+	gC := hetmpc.GNM(512, 4096, 6)
+	_, wantComps := hetmpc.Components(gC)
+	fmt.Printf("%11s | %6s | %12s | %11s\n", "slow factor", "rounds", "makespan", "vs uniform")
+	var base float64
+	for _, factor := range []float64{1, 4, 16, 64} {
+		cfg := hetmpc.Config{N: gC.N, M: gC.M(), Seed: 9}
+		cfg.Profile = hetmpc.BimodalProfile(cfg.DeriveK(), 0.5, factor)
+		c, err := hetmpc.NewCluster(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := hetmpc.Connectivity(c, gC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.Components != wantComps {
+			log.Fatalf("validation: %d components, want %d", r.Components, wantComps)
+		}
+		st := c.Stats()
+		if factor == 1 {
+			base = st.Makespan
+		}
+		fmt.Printf("%11.0f | %6d | %12.4g | %10.2f×\n", factor, st.Rounds, st.Makespan, st.Makespan/base)
 	}
 }

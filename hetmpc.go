@@ -18,6 +18,14 @@
 //   - sublinear-regime baselines (no large machine) for every comparison
 //     row of the paper's Table 1.
 //
+// Beyond the paper's uniform small machines, the simulator supports
+// heterogeneous machine profiles (Profile; generators UniformProfile,
+// ZipfProfile, BimodalProfile, StragglerProfile, and the CLI-spec parser
+// ParseProfile): per-machine capacities, compute speeds and link
+// bandwidths, with the simulated makespan reported in ClusterStats.Makespan
+// and per-machine busy time on the Cluster. A nil profile reproduces the
+// paper's model exactly.
+//
 // Quickstart:
 //
 //	g := hetmpc.GNMWeighted(1024, 8192, 42)
@@ -25,6 +33,13 @@
 //	if err != nil { ... }
 //	res, err := hetmpc.MST(c, g)
 //	fmt.Println(res.Weight, res.Stats.Rounds)
+//
+// and under a heterogeneous profile:
+//
+//	cfg := hetmpc.Config{N: g.N, M: g.M(), Seed: 1}
+//	cfg.Profile = hetmpc.StragglerProfile(cfg.DeriveK(), 2, 8)
+//	c, err = hetmpc.NewCluster(cfg)
+//	// ... run as before; c.Stats().Makespan is the simulated wall-clock.
 //
 // Every algorithm runs entirely inside the simulated model (all cross-machine
 // data moves through capacity-checked Exchange rounds) and returns the
@@ -44,8 +59,12 @@ type (
 	Config = mpc.Config
 	// Cluster is a running heterogeneous MPC system.
 	Cluster = mpc.Cluster
-	// ClusterStats are the accumulated communication metrics of a cluster.
+	// ClusterStats are the accumulated communication metrics of a cluster
+	// (rounds, messages, words, and the simulated Makespan).
 	ClusterStats = mpc.Stats
+	// Profile describes per-machine heterogeneity: capacity, compute speed
+	// and link bandwidth scales; nil is the paper's uniform cluster.
+	Profile = mpc.Profile
 	// Graph is an edge-list graph over vertices 0..N-1.
 	Graph = graph.Graph
 	// Edge is an undirected edge with U < V.
@@ -85,6 +104,33 @@ type (
 // pure-sublinear baseline regime) and K = ⌈m/n^γ⌉ small machines with
 // Õ(n^γ) words each.
 func NewCluster(cfg Config) (*Cluster, error) { return mpc.New(cfg) }
+
+// --- Machine profiles (heterogeneous capacities and speeds) ---
+
+// UniformProfile is the explicit form of the default profile: k machines,
+// every scale 1; bit-identical to a nil profile.
+func UniformProfile(k int) *Profile { return mpc.UniformProfile(k) }
+
+// ZipfProfile skews capacities: machine i's cap scale is (i+1)^-s, clamped
+// below at floor (0 = default 0.05). Speeds stay 1.
+func ZipfProfile(k int, s, floor float64) *Profile { return mpc.ZipfProfile(k, s, floor) }
+
+// BimodalProfile slows the last ⌈slowFrac·k⌉ machines' speed and bandwidth
+// by factor; capacities stay uniform, so only the makespan changes.
+func BimodalProfile(k int, slowFrac, factor float64) *Profile {
+	return mpc.BimodalProfile(k, slowFrac, factor)
+}
+
+// StragglerProfile slows the last `stragglers` machines' compute by
+// slowdown; capacities and bandwidths stay uniform.
+func StragglerProfile(k, stragglers int, slowdown float64) *Profile {
+	return mpc.StragglerProfile(k, stragglers, slowdown)
+}
+
+// ParseProfile builds a profile from a CLI spec ("uniform", "zipf:S[:FLOOR]",
+// "bimodal:SLOWFRAC:FACTOR", "straggler:N:SLOWDOWN") for a k-machine
+// cluster (k = Config.DeriveK()).
+func ParseProfile(spec string, k int) (*Profile, error) { return mpc.ParseProfile(spec, k) }
 
 // NewGraph builds a graph from an edge list (canonicalized, deduplicated).
 func NewGraph(n int, edges []Edge, weighted bool) *Graph { return graph.New(n, edges, weighted) }

@@ -1,8 +1,12 @@
 // Package exp is the experiment harness: it regenerates the paper's Table 1
-// and the figure-style sweeps listed in DESIGN.md §2 (E1..E15), printing
+// and the figure-style sweeps listed in DESIGN.md §2 (E1..E19), printing
 // measured round counts, output quality and paper-predicted complexities
-// side by side. It is consumed by cmd/hetbench and by the top-level
-// benchmarks in bench_test.go; EXPERIMENTS.md records representative output.
+// side by side. E17–E19 go beyond the paper's uniform model: they sweep
+// heterogeneous machine profiles (capacity skew, stragglers, fast/slow
+// cohorts; DESIGN.md §6) and report the simulated makespan next to the
+// round counts. It is consumed by cmd/hetbench and by the top-level
+// benchmarks in bench_test.go; EXPERIMENTS.md records representative
+// output, and SetProfile rebuilds any experiment under a chosen profile.
 package exp
 
 import (

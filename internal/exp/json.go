@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,12 +17,13 @@ import (
 // experiment ran (one experiment typically builds several clusters: the
 // baseline, heterogeneous and superlinear regimes of each row).
 type ModelStats struct {
-	Clusters     int   `json:"clusters"`
-	Rounds       int   `json:"rounds"`
-	Messages     int64 `json:"messages"`
-	TotalWords   int64 `json:"total_words"`
-	MaxSendWords int   `json:"max_send_words"`
-	MaxRecvWords int   `json:"max_recv_words"`
+	Clusters     int     `json:"clusters"`
+	Rounds       int     `json:"rounds"`
+	Messages     int64   `json:"messages"`
+	TotalWords   int64   `json:"total_words"`
+	MaxSendWords int     `json:"max_send_words"`
+	MaxRecvWords int     `json:"max_recv_words"`
+	Makespan     float64 `json:"makespan"` // simulated time under the machine profiles (mpc.Stats.Makespan)
 }
 
 func (m *ModelStats) add(s mpc.Stats) {
@@ -35,6 +37,7 @@ func (m *ModelStats) add(s mpc.Stats) {
 	if s.MaxRecvWords > m.MaxRecvWords {
 		m.MaxRecvWords = s.MaxRecvWords
 	}
+	m.Makespan += s.Makespan
 }
 
 // Artifact is one machine-readable bench record: the experiment's table plus
@@ -42,8 +45,13 @@ func (m *ModelStats) add(s mpc.Stats) {
 // ns, allocations). It is the schema of the BENCH_<exp>.json files that
 // track the perf trajectory across PRs.
 type Artifact struct {
-	Exp        string     `json:"exp"`
-	Seed       uint64     `json:"seed"`
+	Exp  string `json:"exp"`
+	Seed uint64 `json:"seed"`
+	// Profile is the cross-cutting machine-profile spec the clusters were
+	// built under (SetProfile / hetbench -profile); empty = the canonical
+	// uniform cluster. It distinguishes profiled artifacts from the
+	// committed uniform baseline in bench/.
+	Profile    string     `json:"profile,omitempty"`
 	GoVersion  string     `json:"go_version"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	WallNS     int64      `json:"wall_ns"`
@@ -106,6 +114,7 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	a := &Artifact{
 		Exp:        id,
 		Seed:       seed,
+		Profile:    profileSpec,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		WallNS:     wall.Nanoseconds(),
@@ -120,7 +129,9 @@ func Run(id string, seed uint64) (*Artifact, error) {
 }
 
 // WriteFile writes the artifact as BENCH_<exp>.json under dir (created if
-// missing) and returns the path.
+// missing) and returns the path. Artifacts produced under a profile
+// override are written as BENCH_<exp>@<profile>.json so they never
+// clobber the committed uniform baseline.
 func (a *Artifact) WriteFile(dir string) (string, error) {
 	if dir == "" {
 		dir = "."
@@ -128,7 +139,11 @@ func (a *Artifact) WriteFile(dir string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, "BENCH_"+a.Exp+".json")
+	name := "BENCH_" + a.Exp
+	if a.Profile != "" {
+		name += "@" + strings.ReplaceAll(a.Profile, ":", "-")
+	}
+	path := filepath.Join(dir, name+".json")
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		return "", err

@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+
+	"hetmpc/internal/core"
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+	"hetmpc/internal/prims"
+)
+
+// The E17–E19 sweeps exercise the heterogeneous cost model (DESIGN.md §6):
+// per-machine capacity/speed profiles and the simulated makespan. E17 skews
+// capacities and shows capacity-proportional placement keeping every
+// machine inside its cap; E18 and E19 skew only speeds/bandwidths, so the
+// round structure stays bit-identical to the uniform run while the makespan
+// shows stragglers and slow cohorts dominating the simulated wall-clock.
+
+// e17SortKey orders edges by (weight, u, v) for the E17 sample sort.
+func e17SortKey(e graph.Edge) prims.SortKey {
+	return prims.SortKey{A: e.W, B: int64(e.U), C: int64(e.V)}
+}
+
+// E17SkewPlacement sweeps a Zipf capacity skew: edges are placed and sample
+// sorted under per-machine caps; proportional allotment (Frisk's rule)
+// keeps every bucket within its machine's capacity, and the held-item ratio
+// tracks the capacity ratio.
+func E17SkewPlacement(seed uint64) (*Table, error) {
+	const n, m = 512, 8192
+	t := &Table{
+		Title: fmt.Sprintf("E17 — Zipf capacity skew: proportional placement + sort, n=%d m=%d", n, m),
+		Header: []string{"zipf s", "cap scale min..max", "items first/last machine",
+			"held words/cap", "rounds", "makespan", "imbalance"},
+	}
+	g := graph.GNMWeighted(n, m, seed)
+	for _, s := range []float64{0, 0.4, 0.8, 1.2} {
+		cfg := mpc.Config{N: n, M: m, Seed: seed}
+		cfg.Profile = mpc.ZipfProfile(cfg.DeriveK(), s, 0.05)
+		c, err := build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		k := c.K()
+		data := prims.DistributeEdges(c, g)
+		sorted, err := prims.Sort(c, data, prims.EdgeWords, e17SortKey)
+		if err != nil {
+			return nil, err
+		}
+		if !prims.IsGloballySorted(sorted, e17SortKey) {
+			return nil, fmt.Errorf("e17: s=%g: sort postcondition violated", s)
+		}
+		if got := prims.CountItems(sorted); got != m {
+			return nil, fmt.Errorf("e17: s=%g: %d items after sort, want %d", s, got, m)
+		}
+		// Occupancy after the sort: the largest final bucket relative to
+		// its own machine's cap. Per-round receive volumes are enforced
+		// separately by Exchange (any violation would have errored above).
+		worstFill := 0.0
+		for i := 0; i < k; i++ {
+			if fill := float64(len(sorted[i])*prims.EdgeWords) / float64(c.SmallCapOf(i)); fill > worstFill {
+				worstFill = fill
+			}
+		}
+		st := c.Stats()
+		t.AddRow(s,
+			fmt.Sprintf("%.2f..%.2f", c.CapShare(k-1), c.CapShare(0)),
+			fmt.Sprintf("%d/%d", len(sorted[0]), len(sorted[k-1])),
+			worstFill, st.Rounds, st.Makespan, c.BusyImbalance())
+	}
+	t.Notes = append(t.Notes,
+		"buckets follow CapShare (machine 0 largest); every machine stays inside its own cap",
+		"imbalance = max/mean small-machine busy time; 1 = perfectly balanced",
+	)
+	return t, nil
+}
+
+// E18Stragglers sweeps a straggler tail under MST: capacities (and hence
+// the round structure and the output) are identical to the uniform run,
+// while the makespan grows with the slowdown — the Reisizadeh et al.
+// observation that stragglers dominate wall-clock.
+func E18Stragglers(seed uint64) (*Table, error) {
+	const n, m = 512, 4096
+	t := &Table{
+		Title:  fmt.Sprintf("E18 — straggler tail under MST, n=%d m=%d: rounds flat, makespan tracks the slowdown", n, m),
+		Header: []string{"slowdown", "stragglers", "rounds", "makespan", "vs uniform", "straggler busy share"},
+	}
+	g := graph.ConnectedGNM(n, m, seed, true)
+	_, exact := graph.KruskalMSF(g)
+	baseRounds, baseMakespan := 0, 0.0
+	for _, slowdown := range []float64{1, 4, 16, 64, 256} {
+		cfg := mpc.Config{N: n, M: m, Seed: seed}
+		k := cfg.DeriveK()
+		stragglers := k / 16
+		if stragglers < 1 {
+			stragglers = 1
+		}
+		cfg.Profile = mpc.StragglerProfile(k, stragglers, slowdown)
+		c, err := build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.MST(c, g)
+		if err != nil {
+			return nil, err
+		}
+		if r.Weight != exact {
+			return nil, fmt.Errorf("e18: slowdown=%g: MST weight %d, want %d", slowdown, r.Weight, exact)
+		}
+		st := c.Stats()
+		if slowdown == 1 {
+			baseRounds, baseMakespan = st.Rounds, st.Makespan
+		} else if st.Rounds != baseRounds {
+			return nil, fmt.Errorf("e18: slowdown=%g changed the round count: %d vs %d", slowdown, st.Rounds, baseRounds)
+		}
+		t.AddRow(slowdown, stragglers, st.Rounds, st.Makespan,
+			st.Makespan/baseMakespan, c.BusyTime(k-1)/st.Makespan)
+	}
+	t.Notes = append(t.Notes,
+		"speed-only skew: caps uniform, so placement, messages and output are bit-identical across rows",
+	)
+	return t, nil
+}
+
+// E19Bimodal sweeps a fast/slow cluster (bimodal speeds and bandwidths)
+// under connectivity and matching: growing the slow cohort grows the
+// makespan at constant round counts, until at half the cluster the slow
+// machines set the clock.
+func E19Bimodal(seed uint64) (*Table, error) {
+	const n, m = 512, 4096
+	const factor = 4.0
+	t := &Table{
+		Title:  fmt.Sprintf("E19 — bimodal fast/slow (×%g) cluster, n=%d m=%d", factor, n, m),
+		Header: []string{"slow frac", "cc rounds", "cc makespan", "vs uniform", "matching rounds", "matching makespan", "vs uniform"},
+	}
+	g := graph.GNM(n, m, seed)
+	_, wantComps := graph.Components(g)
+	baseCC, baseMatch := 0.0, 0.0
+	for _, slowFrac := range []float64{0, 0.125, 0.25, 0.5} {
+		mk := func() (*mpc.Cluster, error) {
+			cfg := mpc.Config{N: n, M: m, Seed: seed}
+			cfg.Profile = mpc.BimodalProfile(cfg.DeriveK(), slowFrac, factor)
+			return build(cfg)
+		}
+		cc, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		rc, err := core.Connectivity(cc, g)
+		if err != nil {
+			return nil, err
+		}
+		if rc.Components != wantComps {
+			return nil, fmt.Errorf("e19: slowfrac=%g: %d components, want %d", slowFrac, rc.Components, wantComps)
+		}
+		cm, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		rm, err := core.MaximalMatching(cm, g)
+		if err != nil {
+			return nil, err
+		}
+		if err := graph.CheckMatching(g, rm.Edges, true); err != nil {
+			return nil, err
+		}
+		stc, stm := cc.Stats(), cm.Stats()
+		if slowFrac == 0 {
+			baseCC, baseMatch = stc.Makespan, stm.Makespan
+		}
+		t.AddRow(slowFrac, stc.Rounds, stc.Makespan, stc.Makespan/baseCC,
+			stm.Rounds, stm.Makespan, stm.Makespan/baseMatch)
+	}
+	t.Notes = append(t.Notes,
+		"the slow cohort sits at the high machine ids; speeds and bandwidths scaled, caps uniform",
+	)
+	return t, nil
+}

@@ -19,19 +19,44 @@ const (
 )
 
 func newHet(n, m int, f float64, seed uint64) (*mpc.Cluster, error) {
-	c, err := mpc.New(mpc.Config{N: n, M: m, F: f, Seed: seed})
+	return build(mpc.Config{N: n, M: m, F: f, Seed: seed})
+}
+
+func newSub(n, m int, seed uint64) (*mpc.Cluster, error) {
+	return build(mpc.Config{N: n, M: m, NoLarge: true, Seed: seed})
+}
+
+// build applies the package profile override (SetProfile), constructs the
+// cluster and registers it with the run tracker.
+func build(cfg mpc.Config) (*mpc.Cluster, error) {
+	if profileSpec != "" && cfg.Profile == nil {
+		p, err := mpc.ParseProfile(profileSpec, cfg.DeriveK())
+		if err != nil {
+			return nil, err
+		}
+		cfg.Profile = p
+	}
+	c, err := mpc.New(cfg)
 	if err == nil {
 		trackCluster(c)
 	}
 	return c, err
 }
 
-func newSub(n, m int, seed uint64) (*mpc.Cluster, error) {
-	c, err := mpc.New(mpc.Config{N: n, M: m, NoLarge: true, Seed: seed})
-	if err == nil {
-		trackCluster(c)
+// profileSpec is the cross-cutting machine-profile override; see SetProfile.
+var profileSpec string
+
+// SetProfile installs a machine-profile spec (mpc.ParseProfile syntax) that
+// every subsequently built experiment cluster adopts — e.g. run Table 1
+// under "straggler:2:8" and read the makespan column of the artifact. The
+// empty spec (or "uniform") restores the paper's uniform cluster. Specs are
+// validated here; the per-cluster K is only known at build time.
+func SetProfile(spec string) error {
+	if _, err := mpc.ParseProfile(spec, 8); err != nil {
+		return err
 	}
-	return c, err
+	profileSpec = spec
+	return nil
 }
 
 // Table1 reproduces the paper's Table 1: for each problem it measures the

@@ -20,6 +20,13 @@ import (
 //  3. deliver (parallel over senders): copy messages into a single flat
 //     inbox allocation at their precomputed offsets.
 //
+// After delivery a serial stats pass reads the same counters to update the
+// traffic totals and the simulated makespan: each machine is charged
+// w_i·(1/Speed_i + 1/Bandwidth_i) for the words it moved, the round costs
+// the barrier latency plus the busiest machine's charge, and capacities are
+// per machine under the cluster Profile (violations name the machine and
+// its cap).
+//
 // Because offsets are fixed in step 2 before any copying starts, the
 // delivered inbox contents and order are identical under any GOMAXPROCS
 // setting — delivery order remains "large machine's messages first, then
@@ -55,6 +62,7 @@ type exchScratch struct {
 	plans     []senderPlan
 	recvCount []int // per destination slot, messages received
 	recvWords []int // per destination slot, words received
+	sendWords []int // per sender slot, words sent (makespan accounting)
 	slotBase  []int // per destination slot, base offset in the flat inbox
 	slotPool  sync.Pool
 }
@@ -63,6 +71,7 @@ func newExchScratch(k int) *exchScratch {
 	sc := &exchScratch{
 		recvCount: make([]int, k+1),
 		recvWords: make([]int, k+1),
+		sendWords: make([]int, k+1),
 		slotBase:  make([]int, k+1),
 	}
 	sc.slotPool.New = func() any {
@@ -128,6 +137,7 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 	}
 	sc.plans = plans
 	if len(plans) == 0 {
+		c.stats.Makespan += c.latency // a silent round still pays the barrier
 		return ins, nil, nil
 	}
 	// Goroutine fan-out only pays for itself on heavy rounds; light rounds
@@ -181,13 +191,13 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 		}
 	}
 	if sc.recvWords[0] > c.largeCap {
-		return nil, nil, fmt.Errorf("%w: large machine received > %d words in round %d",
-			ErrCapacity, c.largeCap, c.stats.Rounds)
+		return nil, nil, fmt.Errorf("%w: large machine received %d > cap %d words in round %d",
+			ErrCapacity, sc.recvWords[0], c.largeCap, c.stats.Rounds)
 	}
 	for i := 0; i < c.k; i++ {
-		if sc.recvWords[1+i] > c.smallCap {
-			return nil, nil, fmt.Errorf("%w: machine %d received > %d words in round %d",
-				ErrCapacity, i, c.smallCap, c.stats.Rounds)
+		if sc.recvWords[1+i] > c.smallCaps[i] {
+			return nil, nil, fmt.Errorf("%w: machine %d received %d > cap %d words in round %d",
+				ErrCapacity, i, sc.recvWords[1+i], c.smallCaps[i], c.stats.Rounds)
 		}
 	}
 
@@ -232,6 +242,7 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 	var totalWords int64
 	for s := range plans {
 		p := &plans[s]
+		sc.sendWords[senderSlot(p.from)] = p.words
 		totalWords += int64(p.words)
 		if p.words > c.stats.MaxSendWords {
 			c.stats.MaxSendWords = p.words
@@ -247,7 +258,36 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 	if maxRecv > c.stats.MaxRecvWords {
 		c.stats.MaxRecvWords = maxRecv
 	}
+
+	// Makespan: the round takes the barrier latency plus the busiest
+	// machine's time, w_i · (1/Speed_i + 1/Bandwidth_i) over the words it
+	// moved. The scan runs serially in slot order, so the float
+	// accumulation is deterministic under any GOMAXPROCS.
+	var roundMax float64
+	for slot := 0; slot <= c.k; slot++ {
+		w := sc.sendWords[slot] + sc.recvWords[slot]
+		if w == 0 {
+			continue
+		}
+		t := float64(w) * c.invCost[slot]
+		c.busy[slot] += t
+		if t > roundMax {
+			roundMax = t
+		}
+	}
+	c.stats.Makespan += c.latency + roundMax
+	for s := range plans {
+		sc.sendWords[senderSlot(plans[s].from)] = 0
+	}
 	return ins, inLarge, nil
+}
+
+// senderSlot maps a (validated) machine id to its slot index.
+func senderSlot(from int) int {
+	if from == Large {
+		return 0
+	}
+	return 1 + from
 }
 
 // serialRoundThreshold is the message count below which the routing phases
@@ -282,7 +322,7 @@ func (c *Cluster) planSender(p *senderPlan, slotOf []int32) {
 	}
 	p.words = words
 	if p.err == nil && words > c.capOf(p.from) {
-		p.err = fmt.Errorf("%w: machine %d sent %d > %d words in round %d",
+		p.err = fmt.Errorf("%w: machine %d sent %d > cap %d words in round %d",
 			ErrCapacity, p.from, words, c.capOf(p.from), c.stats.Rounds)
 	}
 	for _, ent := range p.entries {

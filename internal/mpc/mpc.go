@@ -15,6 +15,12 @@
 // local computation on goroutines, and gives each machine a private,
 // deterministic PRNG. One word models one O(log n)-bit quantity (a vertex
 // id, a weight, a counter).
+//
+// Beyond the paper's uniform small machines, a Profile gives every machine
+// its own capacity, compute speed and link bandwidth, and Stats.Makespan
+// reports the simulated wall-clock under that profile (per round: barrier
+// latency plus the busiest machine's word-time). A nil Profile reproduces
+// the paper's model bit-for-bit. See Profile and DESIGN.md §6.
 package mpc
 
 import (
@@ -67,6 +73,28 @@ type Config struct {
 	NoLarge   bool   // pure sublinear cluster (baselines)
 	Seed      uint64 // master seed; all machine PRNGs derive from it
 	MaxRounds int    // safety valve; default 100000
+
+	// Profile describes per-machine heterogeneity (capacity, speed,
+	// bandwidth); nil is the paper's uniform cluster. See Profile.
+	Profile *Profile
+}
+
+// DeriveK returns the number of small machines New would build for cfg,
+// so callers can construct per-machine Profiles of the right length before
+// calling New.
+func (cfg Config) DeriveK() int {
+	gamma := cfg.Gamma
+	if gamma == 0 {
+		gamma = 0.5
+	}
+	k := cfg.K
+	if k == 0 {
+		k = int(math.Ceil(float64(cfg.M) / math.Pow(float64(cfg.N), gamma)))
+	}
+	if k < 2 {
+		k = 2
+	}
+	return k
 }
 
 // Stats accumulates run metrics. The JSON field names are the stable wire
@@ -77,18 +105,35 @@ type Stats struct {
 	TotalWords   int64 `json:"total_words"`
 	MaxSendWords int   `json:"max_send_words"` // max words sent by one machine in one round
 	MaxRecvWords int   `json:"max_recv_words"` // max words received by one machine in one round
+
+	// Makespan is the simulated wall-clock under the machine Profile:
+	// Σ over rounds of RoundLatency + max over machines of
+	// w_i·(1/Speed_i + 1/Bandwidth_i), where w_i is the words machine i
+	// sent plus received that round (DESIGN.md §6). With a uniform profile
+	// it reduces to Rounds + Σ_r 2·max_i w_i(r) — a pure function of the
+	// round structure.
+	Makespan float64 `json:"makespan"`
 }
 
 // Cluster is a running heterogeneous MPC system.
 type Cluster struct {
 	cfg      Config
 	k        int
-	smallCap int
+	smallCap int // base (scale-1) small capacity
 	largeCap int
 	rngs     []*rand.Rand
 	largeRng *rand.Rand
 	stats    Stats
 	exch     *exchScratch
+
+	// Heterogeneity state (uniform when cfg.Profile is nil).
+	smallCaps   []int     // per-machine capacity: CapScale[i] · smallCap
+	minSmallCap int       // min over smallCaps; tree/broadcast sizing bound
+	capShare    []float64 // CapScale normalized to max 1; placement weights
+	uniformCaps bool      // all small capacities equal
+	invCost     []float64 // per slot (0=large, 1+i=small): 1/Speed + 1/Bandwidth
+	busy        []float64 // per slot, accumulated simulated busy time
+	latency     float64   // per-round synchronization cost
 }
 
 // New validates cfg, fills defaults and returns a cluster.
@@ -131,13 +176,7 @@ func New(cfg Config) (*Cluster, error) {
 	polyL := ipow(log2n, cfg.LogExpLarge)
 	smallCap := int(cfg.CSmall * math.Pow(float64(cfg.N), cfg.Gamma) * float64(polyS))
 	largeCap := int(cfg.CLarge * math.Pow(float64(cfg.N), 1+cfg.F) * float64(polyL))
-	k := cfg.K
-	if k == 0 {
-		k = int(math.Ceil(float64(cfg.M) / math.Pow(float64(cfg.N), cfg.Gamma)))
-	}
-	if k < 2 {
-		k = 2
-	}
+	k := cfg.DeriveK()
 	c := &Cluster{
 		cfg:      cfg,
 		k:        k,
@@ -150,10 +189,64 @@ func New(cfg Config) (*Cluster, error) {
 	for i := range c.rngs {
 		c.rngs[i] = xrand.New(xrand.Split(cfg.Seed, uint64(i)+1))
 	}
+	if err := c.applyProfile(cfg.Profile); err != nil {
+		return nil, err
+	}
 	if !cfg.NoLarge && largeCap < 4*k {
 		return nil, fmt.Errorf("mpc: out of the model envelope: large capacity %d cannot address K=%d machines", largeCap, k)
 	}
 	return c, nil
+}
+
+// applyProfile derives the per-machine capacity/cost state from p (nil =
+// uniform).
+func (c *Cluster) applyProfile(p *Profile) error {
+	if p != nil {
+		if err := p.validate(c.k); err != nil {
+			return err
+		}
+	}
+	var capScale, speed, bandwidth []float64
+	largeSpeed, largeBandwidth, latency := 1.0, 1.0, 1.0
+	if p != nil {
+		capScale, speed, bandwidth = p.CapScale, p.Speed, p.Bandwidth
+		largeSpeed = orOne(p.LargeSpeed)
+		largeBandwidth = orOne(p.LargeBandwidth)
+		latency = orOne(p.RoundLatency)
+	}
+	c.latency = latency
+	c.smallCaps = make([]int, c.k)
+	c.capShare = make([]float64, c.k)
+	maxScale := 0.0
+	for i := 0; i < c.k; i++ {
+		if s := at(capScale, i); s > maxScale {
+			maxScale = s
+		}
+	}
+	c.minSmallCap = 0
+	c.uniformCaps = true
+	for i := 0; i < c.k; i++ {
+		scale := at(capScale, i)
+		w := int(scale * float64(c.smallCap))
+		if w < 1 {
+			w = 1
+		}
+		c.smallCaps[i] = w
+		c.capShare[i] = scale / maxScale
+		if i == 0 || w < c.minSmallCap {
+			c.minSmallCap = w
+		}
+		if w != c.smallCaps[0] {
+			c.uniformCaps = false
+		}
+	}
+	c.invCost = make([]float64, c.k+1)
+	c.invCost[0] = 1/largeSpeed + 1/largeBandwidth
+	for i := 0; i < c.k; i++ {
+		c.invCost[1+i] = 1/at(speed, i) + 1/at(bandwidth, i)
+	}
+	c.busy = make([]float64, c.k+1)
+	return nil
 }
 
 // K returns the number of small machines.
@@ -162,8 +255,33 @@ func (c *Cluster) K() int { return c.k }
 // N returns the configured vertex count.
 func (c *Cluster) N() int { return c.cfg.N }
 
-// SmallCap returns the per-round/word capacity of a small machine.
+// SmallCap returns the base (profile scale 1) per-round word capacity of a
+// small machine. Under a capacity-skewed profile individual machines differ;
+// see SmallCapOf and MinSmallCap.
 func (c *Cluster) SmallCap() int { return c.smallCap }
+
+// SmallCapOf returns small machine i's per-round word capacity under the
+// cluster's profile.
+func (c *Cluster) SmallCapOf(i int) int { return c.smallCaps[i] }
+
+// MinSmallCap returns the smallest small-machine capacity — the safe bound
+// for broadcast payloads and tree branching that must fit every machine.
+// Equals SmallCap on uniform profiles.
+func (c *Cluster) MinSmallCap() int { return c.minSmallCap }
+
+// CapShare returns small machine i's capacity scale normalized so the
+// largest machine has share 1. Placement primitives allot load proportional
+// to it (Frisk's balancing rule); on uniform profiles every share is
+// exactly 1.
+func (c *Cluster) CapShare(i int) float64 { return c.capShare[i] }
+
+// UniformCaps reports whether all small machines have equal capacity (true
+// for nil and uniform profiles), letting placement take the even-split
+// fast path.
+func (c *Cluster) UniformCaps() bool { return c.uniformCaps }
+
+// Profile returns the cluster's machine profile (nil = uniform).
+func (c *Cluster) Profile() *Profile { return c.cfg.Profile }
 
 // LargeCap returns the per-round/word capacity of the large machine.
 func (c *Cluster) LargeCap() int { return c.largeCap }
@@ -186,8 +304,42 @@ func (c *Cluster) Stats() Stats { return c.stats }
 // Rounds returns the number of communication rounds executed so far.
 func (c *Cluster) Rounds() int { return c.stats.Rounds }
 
-// ResetStats zeroes the metrics (capacities are unchanged).
-func (c *Cluster) ResetStats() { c.stats = Stats{} }
+// ResetStats zeroes the metrics, including per-machine busy times
+// (capacities are unchanged).
+func (c *Cluster) ResetStats() {
+	c.stats = Stats{}
+	for i := range c.busy {
+		c.busy[i] = 0
+	}
+}
+
+// BusyTime returns the accumulated simulated busy time of machine id
+// (Large or a small-machine index): Σ over rounds of
+// w_id·(1/Speed + 1/Bandwidth). The makespan is Σ_r latency + max_i of the
+// per-round terms, so BusyTime(i) ≤ Stats().Makespan for every machine.
+func (c *Cluster) BusyTime(id int) float64 {
+	if id == Large {
+		return c.busy[0]
+	}
+	return c.busy[1+id]
+}
+
+// BusyImbalance returns max/mean of the small machines' busy times (1 =
+// perfectly balanced; 0 when no traffic has flowed).
+func (c *Cluster) BusyImbalance() float64 {
+	var max, sum float64
+	for i := 0; i < c.k; i++ {
+		b := c.busy[1+i]
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max * float64(c.k) / sum
+}
 
 // Rand returns small machine i's private PRNG.
 func (c *Cluster) Rand(i int) *rand.Rand { return c.rngs[i] }
@@ -195,12 +347,13 @@ func (c *Cluster) Rand(i int) *rand.Rand { return c.rngs[i] }
 // LargeRand returns the large machine's private PRNG.
 func (c *Cluster) LargeRand() *rand.Rand { return c.largeRng }
 
-// cap returns the capacity of machine id.
+// capOf returns the per-round word capacity of machine id under the
+// cluster's profile.
 func (c *Cluster) capOf(id int) int {
 	if id == Large {
 		return c.largeCap
 	}
-	return c.smallCap
+	return c.smallCaps[id]
 }
 
 func ipow(b, e int) int {

@@ -1,0 +1,248 @@
+package mpc
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Profile generalizes the cluster from "K identical small machines" to a
+// per-machine capacity/speed description, the heterogeneous-capacity setting
+// of Frisk & Koutris ("Parallel Query Processing with Heterogeneous
+// Machines") layered on top of the paper's model. A nil Profile — or
+// UniformProfile — reproduces the paper's uniform cluster exactly: all
+// scales 1, makespan a pure function of the round structure.
+//
+// Three per-machine axes, each relative to the uniform baseline of 1:
+//
+//   - CapScale scales small machine i's per-round word capacity (its Õ(n^γ)
+//     memory); placement primitives (prims.DistributeEdges, prims.Sort)
+//     allot load proportionally to it;
+//   - Speed scales compute: a machine with Speed ½ takes twice as long to
+//     process the words it moves;
+//   - Bandwidth scales the machine's link: words move at Bandwidth words
+//     per time unit.
+//
+// Capacity changes what executions are legal (caps are enforced per
+// machine); Speed and Bandwidth change only the simulated time (makespan),
+// never the round structure — a speed-skewed run is bit-identical to the
+// uniform run except for its clock. See DESIGN.md §6 for the makespan
+// formula.
+type Profile struct {
+	Name string // for table/artifact labels; generators fill it in
+
+	// Per small machine; nil means "all 1". Non-nil slices must have
+	// exactly K entries of positive values.
+	CapScale  []float64
+	Speed     []float64
+	Bandwidth []float64
+
+	// Large-machine factors; 0 means 1.
+	LargeSpeed     float64
+	LargeBandwidth float64
+
+	// RoundLatency is the fixed synchronization cost charged per round
+	// (the barrier); 0 means 1. With all scales 1 the makespan is
+	// Rounds·RoundLatency plus the traffic term.
+	RoundLatency float64
+}
+
+// UniformProfile returns the explicit form of the default profile: k small
+// machines, every scale 1. New(cfg) with this profile is bit-identical to
+// New(cfg) with Profile nil (tested).
+func UniformProfile(k int) *Profile {
+	return &Profile{
+		Name:      "uniform",
+		CapScale:  ones(k),
+		Speed:     ones(k),
+		Bandwidth: ones(k),
+	}
+}
+
+// ZipfProfile returns a capacity-skewed profile: machine i's CapScale is
+// (i+1)^-s, clamped below at floor (machine 0 is the largest, scale 1).
+// Speeds and bandwidths stay 1, so the skew is purely in how much each
+// machine may hold and move per round; capacity-aware primitives must allot
+// proportionally or the small-cap tail violates its caps. floor keeps every
+// capacity Θ(n^γ) — the skew lives in the constant, as in Frisk's model of
+// machines with capacities within constant factors. floor <= 0 defaults to
+// 0.05.
+func ZipfProfile(k int, s, floor float64) *Profile {
+	if floor <= 0 {
+		floor = 0.05
+	}
+	p := &Profile{
+		Name:      fmt.Sprintf("zipf(s=%g)", s),
+		CapScale:  make([]float64, k),
+		Speed:     ones(k),
+		Bandwidth: ones(k),
+	}
+	for i := range p.CapScale {
+		scale := math.Pow(float64(i+1), -s)
+		if scale < floor {
+			scale = floor
+		}
+		p.CapScale[i] = scale
+	}
+	return p
+}
+
+// BimodalProfile returns a fast/slow cluster: the last ⌈slowFrac·k⌉ machines
+// run at Speed and Bandwidth 1/factor, the rest at 1. Capacities stay
+// uniform, so the round structure is identical to the uniform run and only
+// the makespan changes (Reisizadeh et al.'s heterogeneous-cluster setting).
+func BimodalProfile(k int, slowFrac, factor float64) *Profile {
+	slow := int(math.Ceil(slowFrac * float64(k)))
+	if slow > k {
+		slow = k
+	}
+	p := &Profile{
+		Name:      fmt.Sprintf("bimodal(slow=%g×%g)", slowFrac, factor),
+		CapScale:  ones(k),
+		Speed:     ones(k),
+		Bandwidth: ones(k),
+	}
+	for i := k - slow; i < k; i++ {
+		p.Speed[i] = 1 / factor
+		p.Bandwidth[i] = 1 / factor
+	}
+	return p
+}
+
+// StragglerProfile returns a straggler-tail profile: the last `stragglers`
+// machines (at least 1, at most k) compute at Speed 1/slowdown; capacities
+// and bandwidths stay uniform. Round counts match the uniform run exactly;
+// the makespan shows the stragglers dominating wall-clock.
+func StragglerProfile(k, stragglers int, slowdown float64) *Profile {
+	if stragglers < 1 {
+		stragglers = 1
+	}
+	if stragglers > k {
+		stragglers = k
+	}
+	p := &Profile{
+		Name:      fmt.Sprintf("straggler(%d×%g)", stragglers, slowdown),
+		CapScale:  ones(k),
+		Speed:     ones(k),
+		Bandwidth: ones(k),
+	}
+	for i := k - stragglers; i < k; i++ {
+		p.Speed[i] = 1 / slowdown
+	}
+	return p
+}
+
+// ParseProfile builds a profile for a k-machine cluster from a CLI spec:
+//
+//	uniform
+//	zipf:S[:FLOOR]          e.g. zipf:1.2, zipf:0.8:0.1
+//	bimodal:SLOWFRAC:FACTOR e.g. bimodal:0.25:4
+//	straggler:N:SLOWDOWN    e.g. straggler:2:8
+//
+// The empty spec and "uniform" return nil (the default profile).
+func ParseProfile(spec string, k int) (*Profile, error) {
+	if spec == "" || spec == "uniform" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	args := make([]float64, 0, len(parts)-1)
+	for _, a := range parts[1:] {
+		v, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: profile %q: bad number %q", spec, a)
+		}
+		args = append(args, v)
+	}
+	switch parts[0] {
+	case "zipf":
+		switch len(args) {
+		case 1:
+			return ZipfProfile(k, args[0], 0), nil
+		case 2:
+			return ZipfProfile(k, args[0], args[1]), nil
+		}
+		return nil, fmt.Errorf("mpc: profile %q: want zipf:S[:FLOOR]", spec)
+	case "bimodal":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("mpc: profile %q: want bimodal:SLOWFRAC:FACTOR", spec)
+		}
+		if args[0] < 0 || args[0] > 1 || args[1] <= 0 {
+			return nil, fmt.Errorf("mpc: profile %q: need 0<=slowfrac<=1, factor>0", spec)
+		}
+		return BimodalProfile(k, args[0], args[1]), nil
+	case "straggler":
+		if len(args) != 2 || args[1] <= 0 {
+			return nil, fmt.Errorf("mpc: profile %q: want straggler:N:SLOWDOWN with slowdown>0", spec)
+		}
+		if args[0] < 1 || args[0] != math.Trunc(args[0]) {
+			return nil, fmt.Errorf("mpc: profile %q: straggler count must be an integer >= 1", spec)
+		}
+		return StragglerProfile(k, int(args[0]), args[1]), nil
+	}
+	return nil, fmt.Errorf("mpc: unknown profile %q (uniform, zipf:…, bimodal:…, straggler:…)", spec)
+}
+
+// validate checks slice lengths and positivity against the machine count.
+func (p *Profile) validate(k int) error {
+	check := func(name string, v []float64) error {
+		if v == nil {
+			return nil
+		}
+		if len(v) != k {
+			return fmt.Errorf("mpc: profile %s has %d entries, cluster has K=%d machines", name, len(v), k)
+		}
+		for i, x := range v {
+			if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("mpc: profile %s[%d] = %v, want a positive finite factor", name, i, x)
+			}
+		}
+		return nil
+	}
+	if err := check("CapScale", p.CapScale); err != nil {
+		return err
+	}
+	if err := check("Speed", p.Speed); err != nil {
+		return err
+	}
+	if err := check("Bandwidth", p.Bandwidth); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"LargeSpeed", p.LargeSpeed},
+		{"LargeBandwidth", p.LargeBandwidth},
+		{"RoundLatency", p.RoundLatency},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("mpc: profile %s = %v, want a finite factor >= 0 (0 means 1)", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// at returns v[i], treating nil as the all-ones vector.
+func at(v []float64, i int) float64 {
+	if v == nil {
+		return 1
+	}
+	return v[i]
+}
+
+// orOne maps the zero value of an optional factor to 1.
+func orOne(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return x
+}
+
+func ones(k int) []float64 {
+	v := make([]float64, k)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}

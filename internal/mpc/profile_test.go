@@ -1,0 +1,222 @@
+package mpc
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfileGenerators(t *testing.T) {
+	const k = 16
+	u := UniformProfile(k)
+	for i := 0; i < k; i++ {
+		if u.CapScale[i] != 1 || u.Speed[i] != 1 || u.Bandwidth[i] != 1 {
+			t.Fatalf("uniform profile not all ones at %d", i)
+		}
+	}
+	z := ZipfProfile(k, 1, 0.1)
+	if z.CapScale[0] != 1 {
+		t.Fatalf("zipf machine 0 scale %v, want 1", z.CapScale[0])
+	}
+	for i := 1; i < k; i++ {
+		if z.CapScale[i] > z.CapScale[i-1] {
+			t.Fatalf("zipf scales not non-increasing at %d", i)
+		}
+		if z.CapScale[i] < 0.1 {
+			t.Fatalf("zipf floor violated at %d: %v", i, z.CapScale[i])
+		}
+	}
+	b := BimodalProfile(k, 0.25, 4)
+	slow := 0
+	for i := 0; i < k; i++ {
+		if b.Speed[i] != 1 {
+			slow++
+			if b.Speed[i] != 0.25 || b.Bandwidth[i] != 0.25 {
+				t.Fatalf("bimodal slow machine %d: speed %v bw %v", i, b.Speed[i], b.Bandwidth[i])
+			}
+		}
+	}
+	if slow != 4 {
+		t.Fatalf("bimodal slow count %d, want 4", slow)
+	}
+	s := StragglerProfile(k, 2, 8)
+	for i := 0; i < k; i++ {
+		want := 1.0
+		if i >= k-2 {
+			want = 0.125
+		}
+		if s.Speed[i] != want || s.Bandwidth[i] != 1 || s.CapScale[i] != 1 {
+			t.Fatalf("straggler machine %d: %v/%v/%v", i, s.Speed[i], s.Bandwidth[i], s.CapScale[i])
+		}
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	if p, err := ParseProfile("", 8); err != nil || p != nil {
+		t.Fatalf("empty spec: %v %v", p, err)
+	}
+	if p, err := ParseProfile("uniform", 8); err != nil || p != nil {
+		t.Fatalf("uniform spec: %v %v", p, err)
+	}
+	p, err := ParseProfile("zipf:1.2", 8)
+	if err != nil || len(p.CapScale) != 8 {
+		t.Fatalf("zipf spec: %+v %v", p, err)
+	}
+	if p, err = ParseProfile("straggler:2:8", 8); err != nil || p.Speed[7] != 0.125 {
+		t.Fatalf("straggler spec: %+v %v", p, err)
+	}
+	if p, err = ParseProfile("bimodal:0.5:4", 8); err != nil || p.Speed[7] != 0.25 {
+		t.Fatalf("bimodal spec: %+v %v", p, err)
+	}
+	for _, bad := range []string{"nope", "zipf", "zipf:x", "bimodal:2:4", "straggler:1:0", "bimodal:0.5",
+		"straggler:0:8", "straggler:2.9:8"} {
+		if _, err := ParseProfile(bad, 8); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	base := Config{N: 64, M: 256, Seed: 1}
+	k := base.DeriveK()
+	short := base
+	short.Profile = &Profile{CapScale: []float64{1, 1}}
+	if k != 2 {
+		if _, err := New(short); err == nil {
+			t.Fatal("short CapScale accepted")
+		}
+	}
+	neg := base
+	neg.Profile = &Profile{Speed: make([]float64, k)} // zeros are invalid speeds
+	if _, err := New(neg); err == nil {
+		t.Fatal("zero speeds accepted")
+	}
+	inf := base
+	inf.Profile = UniformProfile(k)
+	inf.Profile.Bandwidth[0] = math.Inf(1)
+	if _, err := New(inf); err == nil {
+		t.Fatal("infinite bandwidth accepted")
+	}
+	nan := base
+	nan.Profile = &Profile{RoundLatency: math.NaN()}
+	if _, err := New(nan); err == nil {
+		t.Fatal("NaN round latency accepted")
+	}
+	lspd := base
+	lspd.Profile = &Profile{LargeSpeed: math.Inf(1)}
+	if _, err := New(lspd); err == nil {
+		t.Fatal("infinite large speed accepted")
+	}
+}
+
+// TestPerMachineCaps: a capacity-skewed profile yields per-machine caps, and
+// violations name the offending machine and its own cap.
+func TestPerMachineCaps(t *testing.T) {
+	cfg := Config{N: 64, M: 256, Seed: 1}
+	k := cfg.DeriveK()
+	p := UniformProfile(k)
+	p.CapScale[2] = 0.25
+	cfg.Profile = p
+	c := newTest(t, cfg)
+
+	if c.SmallCapOf(2) >= c.SmallCapOf(1) {
+		t.Fatalf("machine 2 cap %d not reduced vs %d", c.SmallCapOf(2), c.SmallCapOf(1))
+	}
+	if c.MinSmallCap() != c.SmallCapOf(2) {
+		t.Fatalf("MinSmallCap %d, want machine 2's %d", c.MinSmallCap(), c.SmallCapOf(2))
+	}
+	if c.UniformCaps() {
+		t.Fatal("UniformCaps true under skewed profile")
+	}
+
+	// Receive-side violation on machine 2 only: the same volume is fine
+	// for a full-cap machine.
+	over := c.SmallCapOf(2) + 1
+	outs := make([][]Msg, k)
+	outs[0] = []Msg{{To: 1, Words: over}}
+	if _, _, err := c.Exchange(outs, nil); err != nil {
+		t.Fatalf("full-cap machine rejected %d words: %v", over, err)
+	}
+	outs = make([][]Msg, k)
+	outs[0] = []Msg{{To: 2, Words: over}}
+	_, _, err := c.Exchange(outs, nil)
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("want ErrCapacity, got %v", err)
+	}
+	for _, want := range []string{"machine 2", "cap"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
+		}
+	}
+
+	// Send-side violation reports machine 2's own (reduced) cap.
+	outs = make([][]Msg, k)
+	outs[2] = []Msg{{To: 0, Words: over}}
+	_, _, err = c.Exchange(outs, nil)
+	if !errors.Is(err, ErrCapacity) || !strings.Contains(err.Error(), "machine 2 sent") {
+		t.Fatalf("send violation: %v", err)
+	}
+}
+
+// TestMakespanAccounting pins the DESIGN.md §6 formula on a hand-checked
+// round: latency + max_i w_i·(1/speed_i + 1/bw_i).
+func TestMakespanAccounting(t *testing.T) {
+	cfg := Config{N: 64, M: 256, Seed: 1}
+	k := cfg.DeriveK()
+	p := UniformProfile(k)
+	p.Speed[1] = 0.5 // machine 1 computes at half speed
+	cfg.Profile = p
+	c := newTest(t, cfg)
+
+	outs := make([][]Msg, k)
+	outs[0] = []Msg{{To: 1, Words: 10}}
+	if _, _, err := c.Exchange(outs, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Machine 0 moved 10 words at unit cost: t = 10·(1+1) = 20.
+	// Machine 1 moved 10 words at speed ½:  t = 10·(2+1) = 30.
+	want := 1.0 + 30.0
+	if got := c.Stats().Makespan; got != want {
+		t.Fatalf("makespan %v, want %v", got, want)
+	}
+	if c.BusyTime(0) != 20 || c.BusyTime(1) != 30 {
+		t.Fatalf("busy times %v/%v, want 20/30", c.BusyTime(0), c.BusyTime(1))
+	}
+
+	// A silent round still pays the barrier latency.
+	if _, _, err := c.Exchange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Makespan; got != want+1 {
+		t.Fatalf("makespan after empty round %v, want %v", got, want+1)
+	}
+
+	c.ResetStats()
+	if c.Stats().Makespan != 0 || c.BusyTime(1) != 0 {
+		t.Fatal("ResetStats did not clear makespan/busy state")
+	}
+}
+
+// TestUniformProfileBitIdentical: an explicit all-ones profile produces the
+// same caps, stats and makespan as the nil default.
+func TestUniformProfileBitIdentical(t *testing.T) {
+	run := func(p *Profile) (Stats, int) {
+		cfg := Config{N: 1024, M: 8192, Seed: 5, Profile: p}
+		c := newTest(t, cfg)
+		outs, outLarge := buildHeavyRound(c)
+		if _, _, err := c.Exchange(outs, outLarge); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats(), c.SmallCapOf(0)
+	}
+	stNil, capNil := run(nil)
+	cfg := Config{N: 1024, M: 8192}
+	stU, capU := run(UniformProfile(cfg.DeriveK()))
+	if stNil != stU || capNil != capU {
+		t.Fatalf("explicit uniform differs: %+v/%d vs %+v/%d", stNil, capNil, stU, capU)
+	}
+	if stNil.Makespan <= 0 {
+		t.Fatal("makespan not accrued")
+	}
+}

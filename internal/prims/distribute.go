@@ -1,6 +1,9 @@
 package prims
 
 import (
+	"cmp"
+	"slices"
+
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
 )
@@ -9,20 +12,121 @@ import (
 // a weight).
 const EdgeWords = 3
 
-// DistributeEdges places the input graph's edges on the small machines
-// round-robin. This models the paper's "edges initially stored on the small
-// machines arbitrarily" and costs no rounds (it is the input placement).
+// DistributeEdges places the input graph's edges on the small machines in
+// proportion to their capacities. This models the paper's "edges initially
+// stored on the small machines arbitrarily" and costs no rounds (it is the
+// input placement). On uniform profiles it is an exact round-robin (machine
+// j%k gets edge j); under capacity skew the allotment follows Frisk's
+// balancing rule — machine i holds a CapShare(i)/ΣCapShare fraction — via
+// smooth weighted round-robin, which reduces to plain round-robin when all
+// shares are equal.
 func DistributeEdges(c *mpc.Cluster, g *graph.Graph) [][]graph.Edge {
 	k := c.K()
-	per := (len(g.Edges) + k - 1) / k
 	out := make([][]graph.Edge, k)
-	for i := range out {
-		out[i] = make([]graph.Edge, 0, per)
+	if c.UniformCaps() {
+		per := (len(g.Edges) + k - 1) / k
+		for i := range out {
+			out[i] = make([]graph.Edge, 0, per)
+		}
+		for j, e := range g.Edges {
+			out[j%k] = append(out[j%k], e)
+		}
+		return out
 	}
-	for j, e := range g.Edges {
-		out[j%k] = append(out[j%k], e)
+	for i, e := range weightedAssign(len(g.Edges), c) {
+		out[e] = append(out[e], g.Edges[i])
 	}
 	return out
+}
+
+// weightedAssign deals n items to machines in proportion to their capacity
+// shares: per-machine counts come from largest-remainder apportionment
+// (exact proportionality within one item), and the items interleave by
+// merging each machine's evenly spaced virtual positions through a heap
+// (smallest position first, lowest index on ties). O(n log k),
+// deterministic, and with equal shares the schedule is exactly
+// round-robin.
+func weightedAssign(n int, c *mpc.Cluster) []int {
+	k := c.K()
+	var totalShare float64
+	for i := 0; i < k; i++ {
+		totalShare += c.CapShare(i)
+	}
+	// Largest-remainder counts: floor the quotas, then hand the leftover
+	// items to the largest fractional parts (lowest index on ties).
+	counts := make([]int, k)
+	type frac struct {
+		f float64
+		i int
+	}
+	fracs := make([]frac, k)
+	assigned := 0
+	for i := 0; i < k; i++ {
+		q := float64(n) * c.CapShare(i) / totalShare
+		counts[i] = int(q)
+		assigned += counts[i]
+		fracs[i] = frac{q - float64(counts[i]), i}
+	}
+	slices.SortFunc(fracs, func(a, b frac) int {
+		if a.f != b.f {
+			return cmp.Compare(b.f, a.f) // descending remainder
+		}
+		return cmp.Compare(a.i, b.i)
+	})
+	for j := 0; j < n-assigned; j++ {
+		counts[fracs[j%k].i]++
+	}
+
+	// Interleave: machine i's j-th item sits at virtual position
+	// (j + ½)·n/counts[i]; merging positions spreads every machine's
+	// items evenly over the deal order.
+	type slot struct {
+		pos    float64
+		period float64
+		i      int
+		left   int
+	}
+	less := func(a, b slot) bool { return a.pos < b.pos || (a.pos == b.pos && a.i < b.i) }
+	h := make([]slot, 0, k)
+	for i := 0; i < k; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		p := float64(n) / float64(counts[i])
+		h = append(h, slot{pos: p / 2, period: p, i: i, left: counts[i]})
+	}
+	down := func(root int) {
+		for {
+			child := 2*root + 1
+			if child >= len(h) {
+				return
+			}
+			if child+1 < len(h) && less(h[child+1], h[child]) {
+				child++
+			}
+			if !less(h[child], h[root]) {
+				return
+			}
+			h[root], h[child] = h[child], h[root]
+			root = child
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	owner := make([]int, n)
+	for j := 0; j < n; j++ {
+		owner[j] = h[0].i
+		h[0].left--
+		if h[0].left == 0 {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		} else {
+			h[0].pos += h[0].period
+		}
+		down(0)
+	}
+	return owner
 }
 
 // CountItems returns the total number of items across machines.

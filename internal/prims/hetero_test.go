@@ -1,0 +1,99 @@
+package prims
+
+import (
+	"testing"
+
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+)
+
+func edgeKey(e graph.Edge) SortKey {
+	return SortKey{A: e.W, B: int64(e.U), C: int64(e.V)}
+}
+
+// TestDistributeEdgesUniformIsRoundRobin: with uniform caps the weighted
+// allotment must stay the historical round-robin (placement feeds every
+// downstream golden).
+func TestDistributeEdgesUniformIsRoundRobin(t *testing.T) {
+	g := graph.GNMWeighted(128, 1024, 3)
+	cfg := mpc.Config{N: g.N, M: g.M(), Seed: 1}
+	cNil, err := mpc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = mpc.UniformProfile(cfg.DeriveK())
+	cUni, err := mpc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := DistributeEdges(cNil, g), DistributeEdges(cUni, g)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("machine %d: %d vs %d edges", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("machine %d item %d differs", i, j)
+			}
+		}
+	}
+	for j, e := range g.Edges {
+		if a[j%cNil.K()][j/cNil.K()] != e {
+			t.Fatalf("edge %d not at round-robin position", j)
+		}
+	}
+}
+
+// TestDistributeEdgesProportional: under capacity skew the held volume
+// tracks CapShare within rounding.
+func TestDistributeEdgesProportional(t *testing.T) {
+	g := graph.GNMWeighted(128, 1024, 3)
+	cfg := mpc.Config{N: g.N, M: g.M(), Seed: 1}
+	k := cfg.DeriveK()
+	cfg.Profile = mpc.ZipfProfile(k, 1, 0.05)
+	c, err := mpc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := DistributeEdges(c, g)
+	if got := CountItems(data); got != g.M() {
+		t.Fatalf("%d items distributed, want %d", got, g.M())
+	}
+	var totalShare float64
+	for i := 0; i < k; i++ {
+		totalShare += c.CapShare(i)
+	}
+	for i := 0; i < k; i++ {
+		expect := float64(g.M()) * c.CapShare(i) / totalShare
+		if d := float64(len(data[i])) - expect; d > 1.5 || d < -1.5 {
+			t.Fatalf("machine %d holds %d edges, want ~%.1f (share %.3f)", i, len(data[i]), expect, c.CapShare(i))
+		}
+	}
+}
+
+// TestSortUnderCapacitySkew: the sample sort stays correct and inside every
+// machine's own cap when capacities are Zipf-skewed.
+func TestSortUnderCapacitySkew(t *testing.T) {
+	g := graph.GNMWeighted(256, 4096, 9)
+	cfg := mpc.Config{N: g.N, M: g.M(), Seed: 2}
+	cfg.Profile = mpc.ZipfProfile(cfg.DeriveK(), 1.2, 0.05)
+	c, err := mpc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := Sort(c, DistributeEdges(c, g), EdgeWords, edgeKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsGloballySorted(sorted, edgeKey) {
+		t.Fatal("not globally sorted under capacity skew")
+	}
+	if got := CountItems(sorted); got != g.M() {
+		t.Fatalf("%d items after sort, want %d", got, g.M())
+	}
+	for i := range sorted {
+		if words := len(sorted[i]) * EdgeWords; words > c.SmallCapOf(i) {
+			t.Fatalf("machine %d holds %d words over its cap %d", i, words, c.SmallCapOf(i))
+		}
+	}
+}

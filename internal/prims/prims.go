@@ -48,18 +48,20 @@ func coordCap(c *mpc.Cluster) int {
 	if c.HasLarge() {
 		return c.LargeCap()
 	}
-	return c.SmallCap()
+	return c.SmallCapOf(0)
 }
 
 // branching returns the tree branching factor for payloads of `words` words:
 // as large as possible while a parent can feed all children in one round
 // within half its capacity. This is the simulator's concrete version of the
-// paper's "trees with branching factor n^γ".
+// paper's "trees with branching factor n^γ". Under capacity-skewed profiles
+// the bound is the smallest machine's capacity, since any machine can land
+// anywhere in a range tree.
 func branching(c *mpc.Cluster, words int) int {
 	if words < 1 {
 		words = 1
 	}
-	b := c.SmallCap() / (2 * words)
+	b := c.MinSmallCap() / (2 * words)
 	if b < 2 {
 		b = 2
 	}

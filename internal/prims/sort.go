@@ -130,14 +130,25 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 		}
 	}
 	slices.SortStableFunc(samples, func(a, b weighted) int { return a.key.Compare(b.key) })
+	// Splitter targets are capacity-weighted: bucket i should hold a
+	// CapShare(i)/Σ share of the items (Frisk's balancing rule), so
+	// capacity-skewed machines receive only what they can absorb. With
+	// uniform shares (all exactly 1) this reduces to the even split
+	// total/k.
 	splitters := make([]SortKey, 0, k-1)
 	if len(samples) > 0 && total > 0 {
+		var totalShare float64
+		prefix := make([]float64, k) // prefix[j] = Σ_{i<j} CapShare(i)
+		for i := 0; i < k; i++ {
+			prefix[i] = totalShare
+			totalShare += c.CapShare(i)
+		}
 		var cum float64
 		next := 1
-		target := float64(total) / float64(k)
+		target := float64(total) / totalShare
 		for _, s := range samples {
 			cum += s.weight
-			for next < k && cum >= float64(next)*target {
+			for next < k && cum >= prefix[next]*target {
 				splitters = append(splitters, s.key)
 				next++
 			}

@@ -1,7 +1,9 @@
 // Package unionfind implements a disjoint-set forest with union by rank and
-// path halving. It is the workhorse of the local (in-machine) computations:
-// Borůvka contractions on the large machine, reference connected components,
-// Kruskal, and the sketch-based connectivity algorithm.
+// path halving. It is the workhorse of the local (in-machine) computations
+// the paper assigns to the large machine: the Borůvka contractions of the
+// §3 MST algorithm (Theorem 3.1) and of the sketch-based connectivity of
+// Appendix C.1, plus the out-of-model exact references (Kruskal, connected
+// components) every output is validated against.
 package unionfind
 
 // DSU is a disjoint-set union structure over elements 0..n-1.

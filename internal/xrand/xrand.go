@@ -1,6 +1,8 @@
 // Package xrand provides the deterministic randomness substrate used by the
-// heterogeneous-MPC simulator: splittable seeds, per-machine PRNGs, and
-// k-wise independent hash families over the Mersenne field GF(2^61 - 1).
+// heterogeneous-MPC simulator: splittable seeds, per-machine PRNGs (the
+// paper's model of §2, in which every machine holds private random bits),
+// and the t-wise independent hash families over the Mersenne field
+// GF(2^61 - 1) that the ℓ0-sampling sketches of Appendix C.1 require.
 //
 // Every algorithm in this repository takes an explicit seed, and all
 // per-machine randomness is derived from it with SplitMix64, so runs are

@@ -1,0 +1,100 @@
+package hetmpc_test
+
+import (
+	"testing"
+
+	"hetmpc"
+)
+
+// comm is the communication-side of ClusterStats (everything except the
+// profile-dependent makespan), for comparing runs against the pre-profile
+// goldens.
+type comm struct {
+	Rounds                 int
+	Messages, TotalWords   int64
+	MaxSendWords, MaxRecvW int
+}
+
+func commOf(s hetmpc.ClusterStats) comm {
+	return comm{s.Rounds, s.Messages, s.TotalWords, s.MaxSendWords, s.MaxRecvWords}
+}
+
+// TestUniformProfileGoldens pins the uniform regime to the exact Stats the
+// simulator produced before the cost-model refactor (captured at that
+// commit with seed 7): per-machine caps, weighted placement and weighted
+// splitter selection must all reduce bit-identically on uniform profiles.
+// The table runs each workload three ways — no profile, explicit uniform
+// profile, and a straggler (speed-only) profile — all three must reproduce
+// the golden communication stats; the straggler run must additionally show
+// a strictly larger makespan at the identical round structure.
+func TestUniformProfileGoldens(t *testing.T) {
+	gW := hetmpc.ConnectedGNM(512, 4096, 7, true)
+	gU := hetmpc.GNM(512, 4096, 7)
+
+	cases := []struct {
+		name    string
+		noLarge bool
+		run     func(c *hetmpc.Cluster) error
+		want    comm
+	}{
+		{"mst", false, func(c *hetmpc.Cluster) error {
+			r, err := hetmpc.MST(c, gW)
+			if err == nil && r.Weight != 153235 {
+				t.Errorf("mst weight %d, want 153235", r.Weight)
+			}
+			return err
+		}, comm{56, 39592, 1037522, 99008, 25337}},
+		{"connectivity", false, func(c *hetmpc.Cluster) error {
+			r, err := hetmpc.Connectivity(c, gU)
+			if err == nil && r.Components != 1 {
+				t.Errorf("components %d, want 1", r.Components)
+			}
+			return err
+		}, comm{8, 32179, 8756340, 99008, 525312}},
+		{"matching", false, func(c *hetmpc.Cluster) error {
+			_, err := hetmpc.MaximalMatching(c, gU)
+			return err
+		}, comm{92, 100655, 1750624, 99008, 25391}},
+		{"baseline-mst", true, func(c *hetmpc.Cluster) error {
+			r, err := hetmpc.BaselineMST(c, gW)
+			if err == nil && r.Weight != 153235 {
+				t.Errorf("baseline mst weight %d, want 153235", r.Weight)
+			}
+			return err
+		}, comm{309, 168442, 4554789, 67456, 24212}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := hetmpc.Config{N: 512, M: 4096, Seed: 7, NoLarge: tc.noLarge}
+			k := cfg.DeriveK()
+			profiles := map[string]*hetmpc.Profile{
+				"nil":       nil,
+				"uniform":   hetmpc.UniformProfile(k),
+				"straggler": hetmpc.StragglerProfile(k, 4, 16),
+			}
+			makespans := map[string]float64{}
+			for pname, p := range profiles {
+				cfg.Profile = p
+				c, err := hetmpc.NewCluster(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tc.run(c); err != nil {
+					t.Fatalf("profile %s: %v", pname, err)
+				}
+				if got := commOf(c.Stats()); got != tc.want {
+					t.Fatalf("profile %s: stats %+v, want golden %+v", pname, got, tc.want)
+				}
+				makespans[pname] = c.Stats().Makespan
+			}
+			if makespans["nil"] != makespans["uniform"] {
+				t.Fatalf("uniform makespan %v differs from nil %v", makespans["uniform"], makespans["nil"])
+			}
+			if makespans["straggler"] <= makespans["uniform"] {
+				t.Fatalf("straggler makespan %v not above uniform %v at equal rounds",
+					makespans["straggler"], makespans["uniform"])
+			}
+		})
+	}
+}
