@@ -3,10 +3,11 @@ package hetmpc_test
 // One benchmark per evaluation artifact (DESIGN.md §2, EXPERIMENTS.md):
 // BenchmarkE1_Table1 regenerates the paper's Table 1; E2..E16 are the
 // figure-style sweeps; E17..E19 sweep heterogeneous machine profiles and
-// report the simulated makespan (DESIGN.md §6). Each benchmark runs its
-// experiment through the heterogeneous-MPC simulator, validates every
-// output against the exact references, and reports measured model metrics
-// via b.ReportMetric.
+// report the simulated makespan (DESIGN.md §6); E20..E22 sweep the
+// fault-injection and recovery subsystem (DESIGN.md §7). Each benchmark
+// runs its experiment through the heterogeneous-MPC simulator, validates
+// every output against the exact references, and reports measured model
+// metrics via b.ReportMetric.
 //
 // Run everything once:
 //
@@ -78,6 +79,9 @@ func BenchmarkE16_MSTAblation(b *testing.B)          { runExp(b, "e16") }
 func BenchmarkE17_SkewPlacement(b *testing.B)        { runExp(b, "e17") }
 func BenchmarkE18_Stragglers(b *testing.B)           { runExp(b, "e18") }
 func BenchmarkE19_Bimodal(b *testing.B)              { runExp(b, "e19") }
+func BenchmarkE20_CrashRate(b *testing.B)            { runExp(b, "e20") }
+func BenchmarkE21_CheckpointInterval(b *testing.B)   { runExp(b, "e21") }
+func BenchmarkE22_StragglerCrash(b *testing.B)       { runExp(b, "e22") }
 
 // --- direct algorithm micro-benchmarks with model-metric reporting ---
 

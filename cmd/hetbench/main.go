@@ -1,6 +1,7 @@
 // Command hetbench regenerates the paper's evaluation artifacts: the Table 1
-// comparison, the figure-style sweeps E2..E16, and the heterogeneous-profile
-// sweeps E17..E19 (see DESIGN.md §2/§6 and EXPERIMENTS.md).
+// comparison, the figure-style sweeps E2..E16, the heterogeneous-profile
+// sweeps E17..E19, and the fault-injection sweeps E20..E22 (see DESIGN.md
+// §2/§6/§7 and EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -12,7 +13,14 @@
 //	hetbench -exp table1 -profile straggler:2:8
 //	                            # rebuild the clusters under a machine
 //	                            # profile (uniform, zipf:S[:FLOOR],
-//	                            # bimodal:SLOWFRAC:FACTOR, straggler:N:SLOW)
+//	                            # bimodal:SLOWFRAC:FACTOR, straggler:N:SLOW,
+//	                            # custom:I=SPEED,...)
+//	hetbench -exp table1 -faults ckpt:8+rate:0.002
+//	                            # rebuild the clusters under a fault plan
+//	                            # (ckpt:I, crash:R:M[:K], rate:P[:SEED],
+//	                            # slow:M:FROM:TO:FACTOR, restart:K, joined
+//	                            # by +); artifacts gain crashes /
+//	                            # recovery_rounds / replication_words
 package main
 
 import (
@@ -30,17 +38,22 @@ func main() {
 
 func run() int {
 	var (
-		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e19) or 'all'")
+		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e22) or 'all'")
 		seedFlag    = flag.Uint64("seed", 7, "workload seed")
 		csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonFlag    = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, makespan, wall ns, allocs) instead of text tables")
 		outFlag     = flag.String("out", ".", "output directory for -json artifacts")
 		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
-		profileFlag = flag.String("profile", "", "machine profile applied to every experiment cluster: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN")
+		profileFlag = flag.String("profile", "", "machine profile applied to every experiment cluster: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN, custom:I=SPEED,...")
+		faultsFlag  = flag.String("faults", "", "fault plan applied to every experiment cluster: +-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)")
 	)
 	flag.Parse()
 
 	if err := exp.SetProfile(*profileFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "hetbench:", err)
+		return 2
+	}
+	if err := exp.SetFaults(*faultsFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		return 2
 	}
@@ -79,8 +92,13 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
 				return 1
 			}
-			fmt.Printf("%s\trounds=%d words=%d makespan=%.3g wall=%dms allocs=%d\n",
+			line := fmt.Sprintf("%s\trounds=%d words=%d makespan=%.3g wall=%dms allocs=%d",
 				path, art.Model.Rounds, art.Model.TotalWords, art.Model.Makespan, art.WallNS/1e6, art.Allocs)
+			if art.Model.Crashes > 0 || art.Model.Checkpoints > 0 {
+				line += fmt.Sprintf(" crashes=%d recovery-rounds=%d repl-words=%d",
+					art.Model.Crashes, art.Model.RecoveryRounds, art.Model.ReplicationWords)
+			}
+			fmt.Println(line)
 			continue
 		}
 		table, err := all[id](*seedFlag)

@@ -14,6 +14,11 @@
 //	                                  # heterogeneous machine profile; the
 //	                                  # model line reports the simulated
 //	                                  # makespan under it
+//	hetrun -alg mst -faults ckpt:8+rate:0.002
+//	                                  # fault injection + recovery: crashes,
+//	                                  # recovery rounds and replication words
+//	                                  # join the model line; the output is
+//	                                  # still validated exact
 package main
 
 import (
@@ -41,7 +46,8 @@ func run() int {
 		f       = flag.Float64("f", 0, "large-machine extra exponent f")
 		k       = flag.Int("k", 4, "spanner parameter k")
 		eps     = flag.Float64("eps", 0.25, "approximation parameter ε")
-		profile = flag.String("profile", "", "machine profile: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN")
+		profile = flag.String("profile", "", "machine profile: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN, custom:I=SPEED,...")
+		faults  = flag.String("faults", "", "fault plan: +-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)")
 	)
 	flag.Parse()
 
@@ -59,6 +65,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
 		return 2
 	}
+	cfg.Faults, err = hetmpc.ParseFaultPlan(*faults, cfg.DeriveK())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetrun:", err)
+		return 2
+	}
 	c, err := hetmpc.NewCluster(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
@@ -69,6 +80,9 @@ func run() int {
 	if p := c.Profile(); p != nil {
 		fmt.Printf(" profile=%s min-cap=%d", p.Name, c.MinSmallCap())
 	}
+	if p := c.Faults(); p != nil {
+		fmt.Printf(" faults=%s", p.Name)
+	}
 	fmt.Println()
 
 	if err := dispatch(c, g, *alg, *k, *eps); err != nil {
@@ -76,8 +90,13 @@ func run() int {
 		return 1
 	}
 	st := c.Stats()
-	fmt.Printf("model: rounds=%d messages=%d words=%d max-send=%d max-recv=%d makespan=%.4g imbalance=%.2f\n",
+	fmt.Printf("model: rounds=%d messages=%d words=%d max-send=%d max-recv=%d makespan=%.4g imbalance=%.2f",
 		st.Rounds, st.Messages, st.TotalWords, st.MaxSendWords, st.MaxRecvWords, st.Makespan, c.BusyImbalance())
+	if c.FaultsActive() {
+		fmt.Printf(" crashes=%d recovery-rounds=%d checkpoints=%d repl-words=%d",
+			st.Crashes, st.RecoveryRounds, st.Checkpoints, st.ReplicationWords)
+	}
+	fmt.Println()
 	return 0
 }
 

@@ -26,6 +26,17 @@
 // and per-machine busy time on the Cluster. A nil profile reproduces the
 // paper's model exactly.
 //
+// The simulator also measures what fault tolerance costs a
+// Heterogeneous-MPC algorithm: Config.Faults takes a deterministic
+// FaultPlan (crash schedules, transient slowdown windows, a checkpoint
+// cadence; parser ParseFaultPlan), and the recovery engine replicates each
+// machine's registered state to a capacity-aware buddy and restores it on
+// crashes — charging every replication and recovery action in words,
+// rounds and makespan (ClusterStats.Crashes, RecoveryRounds,
+// ReplicationWords, Checkpoints). Faults never change an algorithm's round
+// structure or output, only its measured cost; a nil (or zero) plan is
+// bit-identical to the reliable cluster. See DESIGN.md §7.
+//
 // Quickstart:
 //
 //	g := hetmpc.GNMWeighted(1024, 8192, 42)
@@ -48,6 +59,7 @@ package hetmpc
 
 import (
 	"hetmpc/internal/core"
+	"hetmpc/internal/fault"
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
 	"hetmpc/internal/sublinear"
@@ -65,6 +77,18 @@ type (
 	// Profile describes per-machine heterogeneity: capacity, compute speed
 	// and link bandwidth scales; nil is the paper's uniform cluster.
 	Profile = mpc.Profile
+	// FaultPlan is a deterministic fault-injection schedule plus the
+	// checkpoint cadence of the recovery protocol (Config.Faults); nil is
+	// the reliable cluster. See fault.Plan.
+	FaultPlan = fault.Plan
+	// FaultCrash schedules one machine failure inside a FaultPlan.
+	FaultCrash = fault.Crash
+	// FaultSlowdown is a transient straggler window inside a FaultPlan.
+	FaultSlowdown = fault.Slowdown
+	// Checkpointer is implemented by a machine's algorithm state so the
+	// recovery engine can replicate and restore it
+	// (Cluster.SetCheckpointer).
+	Checkpointer = fault.Checkpointer
 	// Graph is an edge-list graph over vertices 0..N-1.
 	Graph = graph.Graph
 	// Edge is an undirected edge with U < V.
@@ -128,9 +152,17 @@ func StragglerProfile(k, stragglers int, slowdown float64) *Profile {
 }
 
 // ParseProfile builds a profile from a CLI spec ("uniform", "zipf:S[:FLOOR]",
-// "bimodal:SLOWFRAC:FACTOR", "straggler:N:SLOWDOWN") for a k-machine
-// cluster (k = Config.DeriveK()).
+// "bimodal:SLOWFRAC:FACTOR", "straggler:N:SLOWDOWN", "custom:I=SPEED,...")
+// for a k-machine cluster (k = Config.DeriveK()).
 func ParseProfile(spec string, k int) (*Profile, error) { return mpc.ParseProfile(spec, k) }
+
+// --- Fault injection and recovery (DESIGN.md §7) ---
+
+// ParseFaultPlan builds a fault plan from a CLI spec of +-joined clauses
+// ("ckpt:I", "crash:R:M[:K]", "rate:P[:SEED]", "slow:M:FROM:TO:FACTOR",
+// "restart:K") for a k-machine cluster. The empty spec and "none" return
+// nil (the reliable cluster).
+func ParseFaultPlan(spec string, k int) (*FaultPlan, error) { return fault.ParsePlan(spec, k) }
 
 // NewGraph builds a graph from an edge list (canonicalized, deduplicated).
 func NewGraph(n int, edges []Edge, weighted bool) *Graph { return graph.New(n, edges, weighted) }

@@ -43,7 +43,10 @@ func Coloring(c *mpc.Cluster, g *graph.Graph) (*ColoringResult, error) {
 		res.Stats = snapshot(c, before)
 		return res, nil
 	}
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 
 	// Δ via aggregation.

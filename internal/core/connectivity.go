@@ -38,7 +38,10 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 	}
 	n := g.N
 	res := &ConnectivityResult{}
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 
 	seed, err := prims.BroadcastSeed(c)

@@ -44,7 +44,10 @@ func MaximalMatching(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) {
 		res.Stats = snapshot(c, before)
 		return res, nil
 	}
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 
 	// Degrees and the low/high threshold.
@@ -238,7 +241,10 @@ func MatchingFiltering(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) 
 		res.Stats = snapshot(c, before)
 		return res, nil
 	}
-	live := prims.DistributeEdges(c, g)
+	live, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 	// The semantic memory budget is n^{1+f} edges (Theorem 5.5); the
 	// cluster's polylog slack exists for protocol overheads, not to inflate

@@ -39,7 +39,10 @@ func MinCutUnweighted(c *mpc.Cluster, g *graph.Graph) (*MinCutResult, error) {
 		res.Stats = snapshot(c, before)
 		return res, nil
 	}
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 	needs := endpointNeedsOf(edges)
 
@@ -303,7 +306,10 @@ func ApproxMinCut(c *mpc.Cluster, g *graph.Graph, eps float64) (*MinCutResult, e
 		res.Stats = snapshot(c, before)
 		return res, nil
 	}
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 
 	// Weighted degrees = singleton cut upper bound.

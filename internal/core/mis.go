@@ -33,7 +33,10 @@ func MIS(c *mpc.Cluster, g *graph.Graph) (*MISResult, error) {
 	}
 	n := g.N
 	res := &MISResult{}
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 	needs := endpointNeedsOf(edges)
 

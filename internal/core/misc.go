@@ -27,7 +27,10 @@ func TwoVsOneCycle(c *mpc.Cluster, g *graph.Graph) (*TwoVsOneCycleResult, error)
 	if len(g.Edges) != g.N {
 		return nil, fmt.Errorf("core: input is not a disjoint union of cycles (m=%d, n=%d)", len(g.Edges), g.N)
 	}
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	all, err := prims.GatherToLarge(c, edges, prims.EdgeWords)
 	if err != nil {
 		return nil, err

@@ -58,7 +58,11 @@ func MSTWithOptions(c *mpc.Cluster, g *graph.Graph, opts MSTOptions) (*MSTResult
 		return res, nil
 	}
 
-	edges := toCEdges(prims.DistributeEdges(c, g))
+	placed, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
+	edges := toCEdges(placed)
 
 	// Large-machine persistent state.
 	dsu := unionfind.New(n)

@@ -44,7 +44,10 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 		res.Stats = snapshot(c, before)
 		return res, nil
 	}
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 
 	// Shared randomness for the σ-selection ranks.

@@ -24,6 +24,12 @@ type ModelStats struct {
 	MaxSendWords int     `json:"max_send_words"`
 	MaxRecvWords int     `json:"max_recv_words"`
 	Makespan     float64 `json:"makespan"` // simulated time under the machine profiles (mpc.Stats.Makespan)
+
+	// Fault-tolerance metrics (DESIGN.md §7); zero on fault-free runs.
+	Crashes          int   `json:"crashes"`
+	RecoveryRounds   int   `json:"recovery_rounds"`
+	Checkpoints      int   `json:"checkpoints"`
+	ReplicationWords int64 `json:"replication_words"`
 }
 
 func (m *ModelStats) add(s mpc.Stats) {
@@ -38,6 +44,10 @@ func (m *ModelStats) add(s mpc.Stats) {
 		m.MaxRecvWords = s.MaxRecvWords
 	}
 	m.Makespan += s.Makespan
+	m.Crashes += s.Crashes
+	m.RecoveryRounds += s.RecoveryRounds
+	m.Checkpoints += s.Checkpoints
+	m.ReplicationWords += s.ReplicationWords
 }
 
 // Artifact is one machine-readable bench record: the experiment's table plus
@@ -51,7 +61,11 @@ type Artifact struct {
 	// built under (SetProfile / hetbench -profile); empty = the canonical
 	// uniform cluster. It distinguishes profiled artifacts from the
 	// committed uniform baseline in bench/.
-	Profile    string     `json:"profile,omitempty"`
+	Profile string `json:"profile,omitempty"`
+	// Faults is the cross-cutting fault-plan spec (SetFaults / hetbench
+	// -faults); empty = the reliable cluster. Like Profile it re-names the
+	// artifact so faulted runs never clobber the committed baseline.
+	Faults     string     `json:"faults,omitempty"`
 	GoVersion  string     `json:"go_version"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	WallNS     int64      `json:"wall_ns"`
@@ -71,6 +85,12 @@ var tracker struct {
 	sync.Mutex
 	active   bool
 	clusters []*mpc.Cluster
+	// Whether the SetProfile/SetFaults overrides actually reached at least
+	// one cluster of the running experiment. Experiments that pin their
+	// own Profile/Faults ignore the overrides; their artifacts must not be
+	// tagged (and renamed) as if they ran under them.
+	profileApplied bool
+	faultsApplied  bool
 }
 
 func trackCluster(c *mpc.Cluster) {
@@ -78,6 +98,15 @@ func trackCluster(c *mpc.Cluster) {
 	if tracker.active {
 		tracker.clusters = append(tracker.clusters, c)
 	}
+	tracker.Unlock()
+}
+
+// trackOverrides records that build() injected the cross-cutting overrides
+// into a cluster of the in-flight experiment.
+func trackOverrides(profile, faults bool) {
+	tracker.Lock()
+	tracker.profileApplied = tracker.profileApplied || profile
+	tracker.faultsApplied = tracker.faultsApplied || faults
 	tracker.Unlock()
 }
 
@@ -93,6 +122,7 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	tracker.Lock()
 	tracker.active = true
 	tracker.clusters = tracker.clusters[:0]
+	tracker.profileApplied, tracker.faultsApplied = false, false
 	tracker.Unlock()
 
 	var msBefore, msAfter runtime.MemStats
@@ -104,6 +134,7 @@ func Run(id string, seed uint64) (*Artifact, error) {
 
 	tracker.Lock()
 	clusters := tracker.clusters
+	profileApplied, faultsApplied := tracker.profileApplied, tracker.faultsApplied
 	tracker.clusters = nil
 	tracker.active = false
 	tracker.Unlock()
@@ -114,13 +145,21 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	a := &Artifact{
 		Exp:        id,
 		Seed:       seed,
-		Profile:    profileSpec,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		WallNS:     wall.Nanoseconds(),
 		Allocs:     msAfter.Mallocs - msBefore.Mallocs,
 		AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
 		Table:      table,
+	}
+	// Tag the artifact with an override spec only when it actually reached
+	// a cluster: experiments that pin their own Profile/Faults (E17–E22)
+	// would otherwise emit baseline numbers under an override-labeled name.
+	if profileApplied {
+		a.Profile = profileSpec
+	}
+	if faultsApplied {
+		a.Faults = faultSpec
 	}
 	for _, c := range clusters {
 		a.Model.add(c.Stats())
@@ -129,9 +168,10 @@ func Run(id string, seed uint64) (*Artifact, error) {
 }
 
 // WriteFile writes the artifact as BENCH_<exp>.json under dir (created if
-// missing) and returns the path. Artifacts produced under a profile
-// override are written as BENCH_<exp>@<profile>.json so they never
-// clobber the committed uniform baseline.
+// missing) and returns the path. Artifacts produced under a profile or
+// fault-plan override are written as BENCH_<exp>@<profile>.json /
+// BENCH_<exp>@faults=<plan>.json so they never clobber the committed
+// baseline.
 func (a *Artifact) WriteFile(dir string) (string, error) {
 	if dir == "" {
 		dir = "."
@@ -139,9 +179,15 @@ func (a *Artifact) WriteFile(dir string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
+	sanitize := func(s string) string {
+		return strings.NewReplacer(":", "-", "+", "_", "=", "~", ",", ".").Replace(s)
+	}
 	name := "BENCH_" + a.Exp
 	if a.Profile != "" {
-		name += "@" + strings.ReplaceAll(a.Profile, ":", "-")
+		name += "@" + sanitize(a.Profile)
+	}
+	if a.Faults != "" {
+		name += "@faults=" + sanitize(a.Faults)
 	}
 	path := filepath.Join(dir, name+".json")
 	data, err := json.MarshalIndent(a, "", "  ")

@@ -277,10 +277,13 @@ func All() map[string]func(seed uint64) (*Table, error) {
 		"e17":    E17SkewPlacement,
 		"e18":    E18Stragglers,
 		"e19":    E19Bimodal,
+		"e20":    E20CrashRate,
+		"e21":    E21CheckpointInterval,
+		"e22":    E22StragglerCrash,
 	}
 }
 
 // Order is the canonical experiment ordering for "run everything".
 func Order() []string {
-	return []string{"table1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"}
+	return []string{"table1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22"}
 }

@@ -41,7 +41,10 @@ func E17SkewPlacement(seed uint64) (*Table, error) {
 			return nil, err
 		}
 		k := c.K()
-		data := prims.DistributeEdges(c, g)
+		data, err := prims.DistributeEdges(c, g)
+		if err != nil {
+			return nil, err
+		}
 		sorted, err := prims.Sort(c, data, prims.EdgeWords, e17SortKey)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"fmt"
+
+	"hetmpc/internal/core"
+	"hetmpc/internal/fault"
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+)
+
+// The E20–E22 sweeps exercise the fault-injection and recovery subsystem
+// (DESIGN.md §7): deterministic crash/slowdown schedules, round-level
+// checkpoint replication to capacity-aware buddies, and replicated-state
+// recovery. The invariant every row re-asserts: faults never change the
+// algorithm's round structure or output — recovery is lossless — they only
+// add measured cost (crashes, recovery rounds, replication words, and a
+// recovery-inflated makespan).
+
+// E20CrashRate sweeps the seed-derived crash rate under MST at a fixed
+// checkpoint cadence: the rate-0 row prices pure checkpointing, and each
+// rate step adds recovery rounds and restore traffic while rounds and the
+// MST weight stay bit-identical.
+func E20CrashRate(seed uint64) (*Table, error) {
+	const n, m = 512, 4096
+	const interval = 8
+	t := &Table{
+		Title: fmt.Sprintf("E20 — crash rate vs recovery overhead under MST, n=%d m=%d (ckpt every %d rounds)", n, m, interval),
+		Header: []string{"crash rate", "crashes", "recovery rounds", "repl. words",
+			"rounds", "makespan", "vs fault-free"},
+	}
+	g := graph.ConnectedGNM(n, m, seed, true)
+	_, exact := graph.KruskalMSF(g)
+	baseRounds, baseMakespan := 0, 0.0
+	for _, rate := range []float64{0, 0.0005, 0.002, 0.008} {
+		cfg := mpc.Config{N: n, M: m, Seed: seed}
+		cfg.Faults = &fault.Plan{Interval: interval, CrashRate: rate}
+		c, err := build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.MST(c, g)
+		if err != nil {
+			return nil, err
+		}
+		if r.Weight != exact {
+			return nil, fmt.Errorf("e20: rate=%g: MST weight %d, want %d (recovery lost state)", rate, r.Weight, exact)
+		}
+		st := c.Stats()
+		if rate == 0 {
+			baseRounds, baseMakespan = st.Rounds, st.Makespan
+			if st.Crashes != 0 {
+				return nil, fmt.Errorf("e20: rate=0 crashed %d times", st.Crashes)
+			}
+		} else if st.Rounds != baseRounds {
+			return nil, fmt.Errorf("e20: rate=%g changed the round count: %d vs %d", rate, st.Rounds, baseRounds)
+		}
+		t.AddRow(rate, st.Crashes, st.RecoveryRounds, st.ReplicationWords,
+			st.Rounds, st.Makespan, st.Makespan/baseMakespan)
+	}
+	t.Notes = append(t.Notes,
+		"rounds and the MST weight are bit-identical across rows: recovery restores exactly the pre-crash state",
+		"the rate-0 row prices pure checkpoint replication; each crash adds detect+restore+replay rounds",
+	)
+	return t, nil
+}
+
+// E21CheckpointInterval sweeps the checkpoint cadence at a fixed crash
+// rate: frequent checkpoints pay replication words every barrier, rare
+// checkpoints pay long replays on every crash — the classic trade-off
+// curve, with the makespan showing the sweet spot.
+func E21CheckpointInterval(seed uint64) (*Table, error) {
+	const n, m = 512, 4096
+	const rate = 0.002
+	t := &Table{
+		Title: fmt.Sprintf("E21 — checkpoint interval trade-off under MST, n=%d m=%d (crash rate %g)", n, m, rate),
+		Header: []string{"interval", "checkpoints", "repl. words", "crashes",
+			"recovery rounds", "makespan"},
+	}
+	g := graph.ConnectedGNM(n, m, seed, true)
+	_, exact := graph.KruskalMSF(g)
+	for _, interval := range []int{2, 4, 8, 16, 32, 64} {
+		cfg := mpc.Config{N: n, M: m, Seed: seed}
+		cfg.Faults = &fault.Plan{Interval: interval, CrashRate: rate}
+		c, err := build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.MST(c, g)
+		if err != nil {
+			return nil, err
+		}
+		if r.Weight != exact {
+			return nil, fmt.Errorf("e21: interval=%d: MST weight %d, want %d", interval, r.Weight, exact)
+		}
+		st := c.Stats()
+		t.AddRow(interval, st.Checkpoints, st.ReplicationWords, st.Crashes,
+			st.RecoveryRounds, st.Makespan)
+	}
+	t.Notes = append(t.Notes,
+		"the crash schedule is identical in every row (same seed, same rounds); only the recovery cost moves",
+		"short intervals: replication words dominate; long intervals: replay rounds dominate",
+	)
+	return t, nil
+}
+
+// E22StragglerCrash crosses a straggler speed profile with an explicit
+// crash schedule under sketch connectivity: the same crash is injected
+// once into a fast machine and once into the straggler tail. Recovering a
+// straggler pays the slow machine's replay and restore costs, so the
+// absolute recovery cost compounds with the slowdown instead of adding a
+// constant to it.
+func E22StragglerCrash(seed uint64) (*Table, error) {
+	const n, m = 512, 4096
+	const interval = 2
+	const crashRound = 4
+	t := &Table{
+		Title: fmt.Sprintf("E22 — straggler profile × crash interaction under connectivity, n=%d m=%d (one crash at round %d)", n, m, crashRound),
+		Header: []string{"slowdown", "victim", "crashes", "recovery rounds",
+			"makespan", "recovery cost", "vs fast victim"},
+	}
+	g := graph.GNM(n, m, seed)
+	_, wantComps := graph.Components(g)
+	run := func(slowdown float64, victim int) (mpc.Stats, error) {
+		cfg := mpc.Config{N: n, M: m, Seed: seed}
+		k := cfg.DeriveK()
+		stragglers := k / 8
+		if stragglers < 1 {
+			stragglers = 1
+		}
+		if slowdown > 1 {
+			cfg.Profile = mpc.StragglerProfile(k, stragglers, slowdown)
+		} else {
+			// Pin the explicit uniform profile (bit-identical to nil) so a
+			// cross-cutting -profile override cannot reach only these rows
+			// and skew the cross-row comparison.
+			cfg.Profile = mpc.UniformProfile(k)
+		}
+		plan := &fault.Plan{Interval: interval}
+		if victim >= 0 {
+			plan.Crashes = []fault.Crash{{Round: crashRound, Machine: victim}}
+		}
+		cfg.Faults = plan
+		c, err := build(cfg)
+		if err != nil {
+			return mpc.Stats{}, err
+		}
+		rc, err := core.Connectivity(c, g)
+		if err != nil {
+			return mpc.Stats{}, err
+		}
+		if rc.Components != wantComps {
+			return mpc.Stats{}, fmt.Errorf("e22: slowdown=%g victim=%d: %d components, want %d",
+				slowdown, victim, rc.Components, wantComps)
+		}
+		return c.Stats(), nil
+	}
+	for _, slowdown := range []float64{1, 16, 64} {
+		base, err := run(slowdown, -1) // checkpointing only, no crash
+		if err != nil {
+			return nil, err
+		}
+		k := mpc.Config{N: n, M: m}.DeriveK()
+		fastCost := 0.0
+		for _, v := range []struct {
+			name    string
+			machine int
+		}{
+			{"fast (machine 0)", 0},
+			{fmt.Sprintf("straggler (machine %d)", k-1), k - 1},
+		} {
+			st, err := run(slowdown, v.machine)
+			if err != nil {
+				return nil, err
+			}
+			cost := st.Makespan - base.Makespan
+			if v.machine == 0 {
+				fastCost = cost
+			}
+			t.AddRow(slowdown, v.name, st.Crashes, st.RecoveryRounds,
+				st.Makespan, cost, cost/fastCost)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"recovery cost = makespan minus the same profile's crash-free makespan (checkpointing included in both)",
+		"replaying and restoring a straggler victim pays its slow compute/link, so its recovery cost scales with the slowdown",
+	)
+	return t, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hetmpc/internal/core"
+	"hetmpc/internal/fault"
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
 	"hetmpc/internal/sublinear"
@@ -26,19 +27,32 @@ func newSub(n, m int, seed uint64) (*mpc.Cluster, error) {
 	return build(mpc.Config{N: n, M: m, NoLarge: true, Seed: seed})
 }
 
-// build applies the package profile override (SetProfile), constructs the
-// cluster and registers it with the run tracker.
+// build applies the package profile and fault-plan overrides (SetProfile,
+// SetFaults), constructs the cluster and registers it with the run tracker.
 func build(cfg mpc.Config) (*mpc.Cluster, error) {
+	profileApplied, faultsApplied := false, false
 	if profileSpec != "" && cfg.Profile == nil {
 		p, err := mpc.ParseProfile(profileSpec, cfg.DeriveK())
 		if err != nil {
 			return nil, err
 		}
 		cfg.Profile = p
+		profileApplied = p != nil // "uniform" parses to nil: baseline, no tag
+	}
+	if faultSpec != "" && cfg.Faults == nil {
+		p, err := fault.ParsePlan(faultSpec, cfg.DeriveK())
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = p
+		faultsApplied = p != nil // "none" parses to nil: baseline, no tag
 	}
 	c, err := mpc.New(cfg)
 	if err == nil {
 		trackCluster(c)
+		if profileApplied || faultsApplied {
+			trackOverrides(profileApplied, faultsApplied)
+		}
 	}
 	return c, err
 }
@@ -46,16 +60,38 @@ func build(cfg mpc.Config) (*mpc.Cluster, error) {
 // profileSpec is the cross-cutting machine-profile override; see SetProfile.
 var profileSpec string
 
+// faultSpec is the cross-cutting fault-plan override; see SetFaults.
+var faultSpec string
+
+// specProbeK is the machine count the override setters pre-validate their
+// specs against: large enough that machine-addressed clauses (custom:…,
+// crash:…, slow:…) of any realistic cluster pass here and are checked for
+// real — against the cluster's true K — at build time.
+const specProbeK = 1 << 16
+
 // SetProfile installs a machine-profile spec (mpc.ParseProfile syntax) that
 // every subsequently built experiment cluster adopts — e.g. run Table 1
 // under "straggler:2:8" and read the makespan column of the artifact. The
 // empty spec (or "uniform") restores the paper's uniform cluster. Specs are
 // validated here; the per-cluster K is only known at build time.
 func SetProfile(spec string) error {
-	if _, err := mpc.ParseProfile(spec, 8); err != nil {
+	if _, err := mpc.ParseProfile(spec, specProbeK); err != nil {
 		return err
 	}
 	profileSpec = spec
+	return nil
+}
+
+// SetFaults installs a fault-plan spec (fault.ParsePlan syntax) that every
+// subsequently built experiment cluster adopts — e.g. run Table 1 under
+// "ckpt:8+rate:0.002" and read the crashes/recovery_rounds/makespan columns
+// of the artifact. The empty spec (or "none") restores the reliable
+// cluster.
+func SetFaults(spec string) error {
+	if _, err := fault.ParsePlan(spec, specProbeK); err != nil {
+		return err
+	}
+	faultSpec = spec
 	return nil
 }
 

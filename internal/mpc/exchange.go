@@ -138,6 +138,7 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 	sc.plans = plans
 	if len(plans) == 0 {
 		c.stats.Makespan += c.latency // a silent round still pays the barrier
+		c.postRoundFaults()
 		return ins, nil, nil
 	}
 	// Goroutine fan-out only pays for itself on heavy rounds; light rounds
@@ -261,15 +262,16 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 
 	// Makespan: the round takes the barrier latency plus the busiest
 	// machine's time, w_i · (1/Speed_i + 1/Bandwidth_i) over the words it
-	// moved. The scan runs serially in slot order, so the float
-	// accumulation is deterministic under any GOMAXPROCS.
+	// moved (scaled by any transient slowdown window of the fault plan).
+	// The scan runs serially in slot order, so the float accumulation is
+	// deterministic under any GOMAXPROCS.
 	var roundMax float64
 	for slot := 0; slot <= c.k; slot++ {
 		w := sc.sendWords[slot] + sc.recvWords[slot]
 		if w == 0 {
 			continue
 		}
-		t := float64(w) * c.invCost[slot]
+		t := float64(w) * c.slowCost(slot)
 		c.busy[slot] += t
 		if t > roundMax {
 			roundMax = t
@@ -279,6 +281,7 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 	for s := range plans {
 		sc.sendWords[senderSlot(plans[s].from)] = 0
 	}
+	c.postRoundFaults()
 	return ins, inLarge, nil
 }
 

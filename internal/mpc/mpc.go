@@ -29,6 +29,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"hetmpc/internal/fault"
 	"hetmpc/internal/xrand"
 )
 
@@ -77,6 +78,12 @@ type Config struct {
 	// Profile describes per-machine heterogeneity (capacity, speed,
 	// bandwidth); nil is the paper's uniform cluster. See Profile.
 	Profile *Profile
+
+	// Faults is a deterministic fault-injection schedule (crashes,
+	// transient slowdowns) plus the checkpoint cadence of the recovery
+	// protocol; nil — or an inactive plan — is the reliable cluster,
+	// bit-identical to the paper's model. See fault.Plan and DESIGN.md §7.
+	Faults *fault.Plan
 }
 
 // DeriveK returns the number of small machines New would build for cfg,
@@ -111,8 +118,16 @@ type Stats struct {
 	// w_i·(1/Speed_i + 1/Bandwidth_i), where w_i is the words machine i
 	// sent plus received that round (DESIGN.md §6). With a uniform profile
 	// it reduces to Rounds + Σ_r 2·max_i w_i(r) — a pure function of the
-	// round structure.
+	// round structure. Under an active fault plan it additionally carries
+	// the checkpoint barriers, recovery rounds and restore transfers of
+	// the recovery protocol (DESIGN.md §7).
 	Makespan float64 `json:"makespan"`
+
+	// Fault-tolerance metrics (DESIGN.md §7); all zero on fault-free runs.
+	Crashes          int   `json:"crashes"`           // crash events processed
+	RecoveryRounds   int   `json:"recovery_rounds"`   // extra barrier rounds spent detecting, restoring, replaying and waiting out restarts
+	Checkpoints      int   `json:"checkpoints"`       // checkpoint barriers taken
+	ReplicationWords int64 `json:"replication_words"` // checkpoint replication + crash restore traffic
 }
 
 // Cluster is a running heterogeneous MPC system.
@@ -134,6 +149,10 @@ type Cluster struct {
 	invCost     []float64 // per slot (0=large, 1+i=small): 1/Speed + 1/Bandwidth
 	busy        []float64 // per slot, accumulated simulated busy time
 	latency     float64   // per-round synchronization cost
+
+	// Fault-injection and recovery engine (nil unless cfg.Faults is an
+	// active plan). See recover.go and DESIGN.md §7.
+	ft *faultState
 }
 
 // New validates cfg, fills defaults and returns a cluster.
@@ -190,6 +209,9 @@ func New(cfg Config) (*Cluster, error) {
 		c.rngs[i] = xrand.New(xrand.Split(cfg.Seed, uint64(i)+1))
 	}
 	if err := c.applyProfile(cfg.Profile); err != nil {
+		return nil, err
+	}
+	if err := c.applyFaults(cfg.Faults); err != nil {
 		return nil, err
 	}
 	if !cfg.NoLarge && largeCap < 4*k {

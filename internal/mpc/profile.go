@@ -139,13 +139,20 @@ func StragglerProfile(k, stragglers int, slowdown float64) *Profile {
 //	zipf:S[:FLOOR]          e.g. zipf:1.2, zipf:0.8:0.1
 //	bimodal:SLOWFRAC:FACTOR e.g. bimodal:0.25:4
 //	straggler:N:SLOWDOWN    e.g. straggler:2:8
+//	custom:I=SPEED[,I=SPEED...]  e.g. custom:0=0.5,3=0.25
 //
-// The empty spec and "uniform" return nil (the default profile).
+// The empty spec and "uniform" return nil (the default profile). The custom
+// form names individual machines: each token sets one machine's speed on an
+// otherwise uniform profile; duplicate machine indices and non-positive
+// speeds are rejected with the offending token named.
 func ParseProfile(spec string, k int) (*Profile, error) {
 	if spec == "" || spec == "uniform" {
 		return nil, nil
 	}
 	parts := strings.Split(spec, ":")
+	if parts[0] == "custom" {
+		return parseCustomProfile(spec, parts[1:], k)
+	}
 	args := make([]float64, 0, len(parts)-1)
 	for _, a := range parts[1:] {
 		v, err := strconv.ParseFloat(a, 64)
@@ -180,7 +187,49 @@ func ParseProfile(spec string, k int) (*Profile, error) {
 		}
 		return StragglerProfile(k, int(args[0]), args[1]), nil
 	}
-	return nil, fmt.Errorf("mpc: unknown profile %q (uniform, zipf:…, bimodal:…, straggler:…)", spec)
+	return nil, fmt.Errorf("mpc: unknown profile %q (uniform, zipf:…, bimodal:…, straggler:…, custom:…)", spec)
+}
+
+// parseCustomProfile parses the custom:I=SPEED[,I=SPEED...] form: explicit
+// per-machine speed overrides on a uniform base. Every reject names the
+// offending token, so a long machine list stays debuggable.
+func parseCustomProfile(spec string, rest []string, k int) (*Profile, error) {
+	if len(rest) != 1 || rest[0] == "" {
+		return nil, fmt.Errorf("mpc: profile %q: want custom:I=SPEED[,I=SPEED...]", spec)
+	}
+	p := &Profile{
+		Name:      spec,
+		CapScale:  ones(k),
+		Speed:     ones(k),
+		Bandwidth: ones(k),
+	}
+	seen := make(map[int]bool)
+	for _, tok := range strings.Split(rest[0], ",") {
+		idxStr, speedStr, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("mpc: profile %q: token %q, want I=SPEED", spec, tok)
+		}
+		i, err := strconv.Atoi(idxStr)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: profile %q: token %q: bad machine index %q", spec, tok, idxStr)
+		}
+		if i < 0 || i >= k {
+			return nil, fmt.Errorf("mpc: profile %q: token %q names machine %d outside the cluster's 0..%d", spec, tok, i, k-1)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("mpc: profile %q: token %q repeats machine index %d", spec, tok, i)
+		}
+		seen[i] = true
+		s, err := strconv.ParseFloat(speedStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: profile %q: token %q: bad speed %q", spec, tok, speedStr)
+		}
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("mpc: profile %q: token %q: speed must be a positive finite factor, got %v", spec, tok, s)
+		}
+		p.Speed[i] = s
+	}
+	return p, nil
 }
 
 // validate checks slice lengths and positivity against the machine count.

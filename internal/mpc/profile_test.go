@@ -77,6 +77,67 @@ func TestParseProfile(t *testing.T) {
 	}
 }
 
+// TestParseProfileCustom pins the custom:I=SPEED form: per-machine speed
+// overrides, with duplicates and bad speeds rejected by messages that name
+// the offending token.
+func TestParseProfileCustom(t *testing.T) {
+	p, err := ParseProfile("custom:0=0.5,3=0.25", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1, 1, 0.25, 1, 1, 1, 1}
+	for i, s := range p.Speed {
+		if s != want[i] {
+			t.Fatalf("Speed[%d] = %v, want %v", i, s, want[i])
+		}
+	}
+	for i := range p.CapScale {
+		if p.CapScale[i] != 1 || p.Bandwidth[i] != 1 {
+			t.Fatalf("custom touched non-speed axes at machine %d", i)
+		}
+	}
+
+	rejects := []struct {
+		spec string
+		want string // substring the error must contain (the offending token)
+	}{
+		{"custom", "want custom:"},
+		{"custom:", "want custom:"},
+		{"custom:0", `token "0"`},
+		{"custom:x=1", `token "x=1"`},
+		{"custom:8=1", `token "8=1"`},             // index out of range for k=8
+		{"custom:-1=1", `token "-1=1"`},           // negative machine index
+		{"custom:2=0.5,2=0.25", `token "2=0.25"`}, // duplicate machine index
+		{"custom:2=0.5,2=0.25", "repeats machine index 2"},
+		{"custom:1=-0.5", `token "1=-0.5"`}, // negative speed
+		{"custom:1=-0.5", "positive"},
+		{"custom:1=0", `token "1=0"`}, // zero speed
+		{"custom:1=zz", `token "1=zz"`},
+		{"custom:1=NaN", "positive finite"},
+		{"custom:1=+Inf", "positive finite"},
+	}
+	for _, tc := range rejects {
+		_, err := ParseProfile(tc.spec, 8)
+		if err == nil {
+			t.Fatalf("spec %q accepted", tc.spec)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("spec %q: error %q does not name %q", tc.spec, err, tc.want)
+		}
+	}
+
+	// A parsed custom profile must survive cluster construction and slow
+	// only the named machines' makespan contribution.
+	cfg := Config{N: 64, M: 256, Seed: 1}
+	cfg.Profile, err = ParseProfile("custom:1=0.5", cfg.DeriveK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestProfileValidation(t *testing.T) {
 	base := Config{N: 64, M: 256, Seed: 1}
 	k := base.DeriveK()

@@ -1,0 +1,262 @@
+package mpc
+
+import (
+	"runtime"
+	"slices"
+	"testing"
+
+	"hetmpc/internal/fault"
+)
+
+// sliceCheckpointer is the test stand-in for algorithm state: one machine's
+// int slice, snapshotted by deep copy.
+type sliceCheckpointer struct {
+	data [][]int
+	i    int
+}
+
+func (s sliceCheckpointer) Snapshot() (any, int) {
+	cp := slices.Clone(s.data[s.i])
+	return cp, len(cp)
+}
+
+func (s sliceCheckpointer) Restore(data any) { s.data[s.i] = data.([]int) }
+
+// faultCluster builds a small cluster with the given plan and registers a
+// slice checkpointer per machine holding `words` items.
+func faultCluster(t *testing.T, plan *fault.Plan, words int) (*Cluster, [][]int) {
+	t.Helper()
+	c := newTest(t, Config{N: 64, M: 256, Seed: 1, Faults: plan})
+	state := make([][]int, c.K())
+	for i := range state {
+		for j := 0; j < words; j++ {
+			state[i] = append(state[i], i*1000+j)
+		}
+		c.SetCheckpointer(i, sliceCheckpointer{state, i})
+	}
+	return c, state
+}
+
+func TestInactivePlanInstallsNoEngine(t *testing.T) {
+	c := newTest(t, Config{N: 64, M: 256, Seed: 1, Faults: &fault.Plan{}})
+	if c.FaultsActive() {
+		t.Fatal("zero plan activated the fault engine")
+	}
+	if c.Buddy(0) != -1 {
+		t.Fatal("buddy map exists without a fault engine")
+	}
+	c.SetCheckpointer(0, sliceCheckpointer{}) // must be a silent no-op
+}
+
+func TestPlanValidationAtNew(t *testing.T) {
+	bad := &fault.Plan{Crashes: []fault.Crash{{Round: 1, Machine: 99999}}}
+	if _, err := New(Config{N: 64, M: 256, Seed: 1, Faults: bad}); err == nil {
+		t.Fatal("out-of-range crash machine accepted")
+	}
+}
+
+func TestBuddyMapPairsLargeWithSmall(t *testing.T) {
+	caps := []int{100, 80, 60, 40, 20, 10}
+	buddy := buddyMap(caps)
+	for i, b := range buddy {
+		if b == i {
+			t.Fatalf("machine %d is its own buddy", i)
+		}
+		if b < 0 || b >= len(caps) {
+			t.Fatalf("buddy[%d] = %d out of range", i, b)
+		}
+	}
+	// Rank pairing with shift 3: capacity rank 0 (machine 0) pairs with
+	// rank 3 (machine 3), so the largest machine holds a small one's state.
+	if buddy[0] != 3 || buddy[3] != 0 {
+		t.Fatalf("rank pairing broken: buddy[0]=%d buddy[3]=%d", buddy[0], buddy[3])
+	}
+}
+
+// TestCheckpointBarrierChargesReplication: checkpoints happen at the
+// configured cadence, charge the replicated words, and inflate the makespan
+// by latency + the busiest machine's transfer time.
+func TestCheckpointBarrierChargesReplication(t *testing.T) {
+	const words = 5
+	c, _ := faultCluster(t, &fault.Plan{Interval: 2}, words)
+	k := c.K()
+	for r := 0; r < 4; r++ {
+		if _, _, err := c.Exchange(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Checkpoints != 2 {
+		t.Fatalf("checkpoints %d, want 2 (rounds 2 and 4)", st.Checkpoints)
+	}
+	wantWords := int64(2 * k * words)
+	if st.ReplicationWords != wantWords {
+		t.Fatalf("replication words %d, want %d", st.ReplicationWords, wantWords)
+	}
+	if st.Crashes != 0 || st.RecoveryRounds != 0 {
+		t.Fatalf("phantom crashes: %+v", st)
+	}
+	// 4 silent rounds + 2 checkpoint barriers, each barrier: latency 1 +
+	// busiest machine moving 2·words (its own snapshot out, its buddy's in)
+	// at unit cost (1/speed + 1/bw = 2).
+	want := 4.0 + 2*(1.0+float64(2*words)*2)
+	if st.Makespan != want {
+		t.Fatalf("makespan %v, want %v", st.Makespan, want)
+	}
+}
+
+// TestCrashRecoveryChargesAndRoundTrips: an explicit crash restores from
+// the buddy, charges the replica transfer and the replay rounds since the
+// last checkpoint, and round-trips the state through the Checkpointer.
+func TestCrashRecoveryChargesAndRoundTrips(t *testing.T) {
+	const words = 4
+	plan := &fault.Plan{
+		Interval: 2,
+		Crashes:  []fault.Crash{{Round: 3, Machine: 1, RestartAfter: 2}},
+	}
+	c, state := faultCluster(t, plan, words)
+	before := slices.Clone(state[1])
+	for r := 0; r < 3; r++ {
+		if _, _, err := c.Exchange(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Crashes != 1 {
+		t.Fatalf("crashes %d, want 1", st.Crashes)
+	}
+	// Detect (1) + replay rounds 3-2=1 + restart 2.
+	if want := 1 + 1 + 2; st.RecoveryRounds != want {
+		t.Fatalf("recovery rounds %d, want %d", st.RecoveryRounds, want)
+	}
+	// Checkpoint at round 2 replicated k·words; the crash restore moved the
+	// victim's replica (words) once more.
+	if want := int64(c.K()*words + words); st.ReplicationWords != want {
+		t.Fatalf("replication words %d, want %d", st.ReplicationWords, want)
+	}
+	if !slices.Equal(state[1], before) {
+		t.Fatalf("state corrupted by recovery: %v vs %v", state[1], before)
+	}
+}
+
+// TestBuddyDeathFallsBackToReplay: when a machine and its buddy die at the
+// same barrier, recovery replays cold — more recovery rounds, no restore
+// transfer.
+func TestBuddyDeathFallsBackToReplay(t *testing.T) {
+	c0, _ := faultCluster(t, &fault.Plan{Interval: 4}, 3)
+	victim, buddy := 1, c0.Buddy(1)
+
+	run := func(plan *fault.Plan) Stats {
+		c, _ := faultCluster(t, plan, 3)
+		for r := 0; r < 6; r++ {
+			if _, _, err := c.Exchange(nil, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats()
+	}
+	solo := run(&fault.Plan{Interval: 4, Crashes: []fault.Crash{
+		{Round: 6, Machine: victim},
+	}})
+	pair := run(&fault.Plan{Interval: 4, Crashes: []fault.Crash{
+		{Round: 6, Machine: victim}, {Round: 6, Machine: buddy},
+	}})
+	// Solo: rec = 1 + (6-4) = 3 per victim; replica transfer charged.
+	if solo.Crashes != 1 || solo.RecoveryRounds != 3 {
+		t.Fatalf("solo crash: %+v", solo)
+	}
+	// Pair: both victims replay cold, rec = 2 + 2·2 = 6 each; no restore
+	// words beyond the checkpoint replication (identical in both runs).
+	if pair.Crashes != 2 || pair.RecoveryRounds != 12 {
+		t.Fatalf("pair crash: %+v", pair)
+	}
+	if pair.ReplicationWords >= solo.ReplicationWords {
+		t.Fatalf("cold replay should move fewer words: pair %d vs solo %d",
+			pair.ReplicationWords, solo.ReplicationWords)
+	}
+}
+
+// TestCrashDuringDowntimeAbsorbed: a machine that fails again while still
+// inside a previous crash's restart downtime is not charged a second
+// independent recovery.
+func TestCrashDuringDowntimeAbsorbed(t *testing.T) {
+	plan := &fault.Plan{
+		Interval: 2,
+		Crashes: []fault.Crash{
+			{Round: 3, Machine: 1, RestartAfter: 3}, // down through round 6
+			{Round: 5, Machine: 1},                  // inside the downtime: absorbed
+			{Round: 7, Machine: 1},                  // after restart: a fresh crash
+		},
+	}
+	c, _ := faultCluster(t, plan, 3)
+	for r := 0; r < 8; r++ {
+		if _, _, err := c.Exchange(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().Crashes; got != 2 {
+		t.Fatalf("crashes %d, want 2 (round-5 failure absorbed by downtime)", got)
+	}
+}
+
+// TestSlowdownWindowMovesOnlyMakespan: a transient slowdown leaves every
+// communication stat untouched and raises the makespan during its window.
+func TestSlowdownWindowMovesOnlyMakespan(t *testing.T) {
+	run := func(plan *fault.Plan) Stats {
+		c := newTest(t, Config{N: 1024, M: 8192, Seed: 5, Faults: plan})
+		for r := 0; r < 3; r++ {
+			outs, outLarge := buildHeavyRound(c)
+			if _, _, err := c.Exchange(outs, outLarge); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats()
+	}
+	base := run(nil)
+	// The factor must be large enough for the slowed machine to out-last
+	// the large machine (the makespan is a max over machines).
+	slowed := run(&fault.Plan{Slowdowns: []fault.Slowdown{{Machine: 0, From: 2, To: 2, Factor: 1e5}}})
+	if slowed.Rounds != base.Rounds || slowed.Messages != base.Messages ||
+		slowed.TotalWords != base.TotalWords || slowed.MaxSendWords != base.MaxSendWords {
+		t.Fatalf("slowdown changed communication stats: %+v vs %+v", slowed, base)
+	}
+	if slowed.Makespan <= base.Makespan {
+		t.Fatalf("slowdown did not raise makespan: %v vs %v", slowed.Makespan, base.Makespan)
+	}
+}
+
+// TestRecoveryDeterministicAcrossGOMAXPROCS: a run with checkpoints,
+// rate-derived crashes and slowdowns produces bit-identical Stats whether
+// the engine fans out over goroutines or runs on one CPU.
+func TestRecoveryDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	plan := &fault.Plan{
+		Interval:  2,
+		CrashRate: 0.02,
+		Slowdowns: []fault.Slowdown{{Machine: 1, From: 1, To: 8, Factor: 4}},
+	}
+	run := func() Stats {
+		c := newTest(t, Config{N: 1024, M: 8192, Seed: 5, Faults: plan})
+		state := make([][]int, c.K())
+		for i := range state {
+			state[i] = []int{i, i + 1, i + 2}
+			c.SetCheckpointer(i, sliceCheckpointer{state, i})
+		}
+		for r := 0; r < 10; r++ {
+			outs, outLarge := buildHeavyRound(c)
+			if _, _, err := c.Exchange(outs, outLarge); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats()
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := run()
+	runtime.GOMAXPROCS(prev)
+	many := run()
+	if one != many {
+		t.Fatalf("stats differ across GOMAXPROCS:\n 1: %+v\n n: %+v", one, many)
+	}
+	if one.Crashes == 0 || one.Checkpoints == 0 {
+		t.Fatalf("plan injected nothing: %+v", one)
+	}
+}

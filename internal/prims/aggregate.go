@@ -81,6 +81,10 @@ func AggregateByKey[V any](
 	}); err != nil {
 		return nil, nil, err
 	}
+	// The combined runs are the machines' recoverable state through the
+	// tree-combine rounds below (Sort registered the pre-combine buckets;
+	// re-register so checkpoints see the shrunken volume).
+	RegisterState(c, sorted, vwords+1)
 
 	// Boundary reports → spanning runs.
 	spans, err := reportBounds(c, func(i int) boundsReport {

@@ -2,6 +2,8 @@ package prims
 
 import (
 	"cmp"
+	"errors"
+	"fmt"
 	"slices"
 
 	"hetmpc/internal/graph"
@@ -12,6 +14,11 @@ import (
 // a weight).
 const EdgeWords = 3
 
+// ErrZeroCapacity is returned by placement primitives when the cluster
+// profile's capacity shares sum to zero (or are not finite), leaving no
+// machine able to hold anything.
+var ErrZeroCapacity = errors.New("prims: zero total capacity")
+
 // DistributeEdges places the input graph's edges on the small machines in
 // proportion to their capacities. This models the paper's "edges initially
 // stored on the small machines arbitrarily" and costs no rounds (it is the
@@ -19,8 +26,10 @@ const EdgeWords = 3
 // j%k gets edge j); under capacity skew the allotment follows Frisk's
 // balancing rule — machine i holds a CapShare(i)/ΣCapShare fraction — via
 // smooth weighted round-robin, which reduces to plain round-robin when all
-// shares are equal.
-func DistributeEdges(c *mpc.Cluster, g *graph.Graph) [][]graph.Edge {
+// shares are equal. A profile whose capacity shares sum to zero yields
+// ErrZeroCapacity. The placed buckets are registered as the machines'
+// recoverable state (RegisterState) when fault injection is active.
+func DistributeEdges(c *mpc.Cluster, g *graph.Graph) ([][]graph.Edge, error) {
 	k := c.K()
 	out := make([][]graph.Edge, k)
 	if c.UniformCaps() {
@@ -31,12 +40,22 @@ func DistributeEdges(c *mpc.Cluster, g *graph.Graph) [][]graph.Edge {
 		for j, e := range g.Edges {
 			out[j%k] = append(out[j%k], e)
 		}
-		return out
+		RegisterState(c, out, EdgeWords)
+		return out, nil
 	}
-	for i, e := range weightedAssign(len(g.Edges), c) {
+	shares := make([]float64, k)
+	for i := range shares {
+		shares[i] = c.CapShare(i)
+	}
+	owner, err := weightedAssign(len(g.Edges), shares)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range owner {
 		out[e] = append(out[e], g.Edges[i])
 	}
-	return out
+	RegisterState(c, out, EdgeWords)
+	return out, nil
 }
 
 // weightedAssign deals n items to machines in proportion to their capacity
@@ -45,12 +64,18 @@ func DistributeEdges(c *mpc.Cluster, g *graph.Graph) [][]graph.Edge {
 // merging each machine's evenly spaced virtual positions through a heap
 // (smallest position first, lowest index on ties). O(n log k),
 // deterministic, and with equal shares the schedule is exactly
-// round-robin.
-func weightedAssign(n int, c *mpc.Cluster) []int {
-	k := c.K()
+// round-robin. Shares that sum to zero (or are not finite) would divide by
+// zero in the quota computation; that degenerate profile surfaces as
+// ErrZeroCapacity instead.
+func weightedAssign(n int, shares []float64) ([]int, error) {
+	k := len(shares)
 	var totalShare float64
 	for i := 0; i < k; i++ {
-		totalShare += c.CapShare(i)
+		totalShare += shares[i]
+	}
+	if !(totalShare > 0) { // catches 0, NaN and negative sums alike
+		return nil, fmt.Errorf("%w: capacity shares sum to %v over K=%d machines",
+			ErrZeroCapacity, totalShare, k)
 	}
 	// Largest-remainder counts: floor the quotas, then hand the leftover
 	// items to the largest fractional parts (lowest index on ties).
@@ -62,7 +87,7 @@ func weightedAssign(n int, c *mpc.Cluster) []int {
 	fracs := make([]frac, k)
 	assigned := 0
 	for i := 0; i < k; i++ {
-		q := float64(n) * c.CapShare(i) / totalShare
+		q := float64(n) * shares[i] / totalShare
 		counts[i] = int(q)
 		assigned += counts[i]
 		fracs[i] = frac{q - float64(counts[i]), i}
@@ -126,7 +151,7 @@ func weightedAssign(n int, c *mpc.Cluster) []int {
 		}
 		down(0)
 	}
-	return owner
+	return owner, nil
 }
 
 // CountItems returns the total number of items across machines.

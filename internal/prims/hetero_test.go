@@ -26,7 +26,14 @@ func TestDistributeEdgesUniformIsRoundRobin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, b := DistributeEdges(cNil, g), DistributeEdges(cUni, g)
+	a, err := DistributeEdges(cNil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DistributeEdges(cUni, g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a {
 		if len(a[i]) != len(b[i]) {
 			t.Fatalf("machine %d: %d vs %d edges", i, len(a[i]), len(b[i]))
@@ -55,7 +62,10 @@ func TestDistributeEdgesProportional(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data := DistributeEdges(c, g)
+	data, err := DistributeEdges(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := CountItems(data); got != g.M() {
 		t.Fatalf("%d items distributed, want %d", got, g.M())
 	}
@@ -81,7 +91,11 @@ func TestSortUnderCapacitySkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sorted, err := Sort(c, DistributeEdges(c, g), EdgeWords, edgeKey)
+	data, err := DistributeEdges(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := Sort(c, data, EdgeWords, edgeKey)
 	if err != nil {
 		t.Fatal(err)
 	}

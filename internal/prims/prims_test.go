@@ -407,7 +407,10 @@ func TestArrangeAndCollectBudget(t *testing.T) {
 func TestDistributeEdgesBalanced(t *testing.T) {
 	c := newCluster(t, 256, 2048, false)
 	g := graph.GNM(256, 2048, 3)
-	data := DistributeEdges(c, g)
+	data, err := DistributeEdges(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if CountItems(data) != g.M() {
 		t.Fatal("edges lost in distribution")
 	}

@@ -60,6 +60,9 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 		copy(nd, data)
 		data = nd
 	}
+	// Under fault injection the input buckets are the machines' live state
+	// until the routed buckets replace them below.
+	RegisterState(c, data, itemWords)
 
 	// Step 1: local sort (parallel local computation, no rounds).
 	byKey := func(a, b T) int { return key(a).Compare(key(b)) }
@@ -213,6 +216,8 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 	}); err != nil {
 		return nil, err
 	}
+	// The routed, locally sorted buckets are now the machines' state.
+	RegisterState(c, result, itemWords)
 	return result, nil
 }
 

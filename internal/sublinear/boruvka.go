@@ -54,7 +54,10 @@ func MST(c *mpc.Cluster, g *graph.Graph) (*MSTResult, error) {
 	res := &MSTResult{}
 	kk := c.K()
 	edges := make([][]bEdge, kk)
-	dist := prims.DistributeEdges(c, g)
+	dist, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	for i := range dist {
 		for _, e := range dist[i] {
 			edges[i] = append(edges[i], bEdge{LU: int64(e.U), LV: int64(e.V), W: e.W, OU: int32(e.U), OV: int32(e.V)})

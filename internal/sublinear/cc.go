@@ -31,7 +31,10 @@ type CCResult struct {
 func Connectivity(c *mpc.Cluster, g *graph.Graph) (*CCResult, error) {
 	before := c.Stats()
 	n := g.N
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 	res := &CCResult{}
 

@@ -30,7 +30,10 @@ func Coloring(c *mpc.Cluster, g *graph.Graph) (*ColoringResult, error) {
 	before := c.Stats()
 	n := g.N
 	res := &ColoringResult{}
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 	needs := endpointNeeds(edges)
 

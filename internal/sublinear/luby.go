@@ -29,7 +29,10 @@ func MIS(c *mpc.Cluster, g *graph.Graph) (*MISResult, error) {
 	before := c.Stats()
 	n := g.N
 	res := &MISResult{}
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, err
+	}
 	kk := c.K()
 
 	seed, err := prims.BroadcastSeed(c)

@@ -216,7 +216,10 @@ func rootsToKVs[V any](c *mpc.Cluster, roots []map[int64]V) [][]prims.KV[V] {
 // with no large machine involved. The returned stats show Θ(log Δ)
 // iterations of O(1) rounds each.
 func MaximalMatching(c *mpc.Cluster, g *graph.Graph) ([]graph.Edge, *PeelResult, error) {
-	edges := prims.DistributeEdges(c, g)
+	edges, err := prims.DistributeEdges(c, g)
+	if err != nil {
+		return nil, nil, err
+	}
 	res, err := PeelMatching(c, edges, 0)
 	if err != nil {
 		return nil, nil, err

@@ -1,6 +1,7 @@
 package hetmpc_test
 
 import (
+	"runtime"
 	"testing"
 
 	"hetmpc"
@@ -95,6 +96,151 @@ func TestUniformProfileGoldens(t *testing.T) {
 				t.Fatalf("straggler makespan %v not above uniform %v at equal rounds",
 					makespans["straggler"], makespans["uniform"])
 			}
+
+			// Fault axis of the same goldens: a fault-free (zero) plan is
+			// bit-identical to no plan at all — full Stats, not just the
+			// communication side — and an active plan keeps the golden
+			// communication stats while charging its overhead on top.
+			cfg.Profile = nil
+			cfg.Faults = &hetmpc.FaultPlan{}
+			cZero, err := hetmpc.NewCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.run(cZero); err != nil {
+				t.Fatalf("zero fault plan: %v", err)
+			}
+			cfg.Faults = nil
+			cNil, err := hetmpc.NewCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.run(cNil); err != nil {
+				t.Fatal(err)
+			}
+			if cZero.Stats() != cNil.Stats() {
+				t.Fatalf("zero fault plan not bit-identical to nil:\n zero: %+v\n  nil: %+v",
+					cZero.Stats(), cNil.Stats())
+			}
+			cfg.Faults = &hetmpc.FaultPlan{Interval: 8, CrashRate: 0.002}
+			cFault, err := hetmpc.NewCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.run(cFault); err != nil {
+				t.Fatalf("active fault plan: %v", err)
+			}
+			st := cFault.Stats()
+			if got := commOf(st); got != tc.want {
+				t.Fatalf("active fault plan changed the golden communication stats: %+v vs %+v", got, tc.want)
+			}
+			if st.Checkpoints == 0 || st.ReplicationWords == 0 {
+				t.Fatalf("active plan replicated nothing: %+v", st)
+			}
+			if st.Makespan <= makespans["nil"] {
+				t.Fatalf("fault overhead missing: makespan %v <= fault-free %v", st.Makespan, makespans["nil"])
+			}
 		})
+	}
+}
+
+// TestRecoveryDeterministicAcrossGOMAXPROCS pins the acceptance criterion
+// that recovery is deterministic under any GOMAXPROCS: a full MST run with
+// checkpoints, seed-derived crashes and a transient slowdown produces
+// bit-identical Stats on one CPU and on all of them.
+func TestRecoveryDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	g := hetmpc.ConnectedGNM(512, 4096, 7, true)
+	plan := &hetmpc.FaultPlan{
+		Interval:  4,
+		CrashRate: 0.003,
+		Crashes:   []hetmpc.FaultCrash{{Round: 10, Machine: 2, RestartAfter: 1}},
+		Slowdowns: []hetmpc.FaultSlowdown{{Machine: 5, From: 3, To: 30, Factor: 8}},
+	}
+	run := func() hetmpc.ClusterStats {
+		c, err := hetmpc.NewCluster(hetmpc.Config{N: 512, M: 4096, Seed: 7, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := hetmpc.MST(c, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Weight != 153235 {
+			t.Fatalf("mst weight %d, want golden 153235", r.Weight)
+		}
+		return c.Stats()
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := run()
+	runtime.GOMAXPROCS(prev)
+	many := run()
+	if one != many {
+		t.Fatalf("recovery stats differ across GOMAXPROCS:\n 1: %+v\n n: %+v", one, many)
+	}
+	if one.Crashes == 0 {
+		t.Fatalf("plan injected no crashes: %+v", one)
+	}
+}
+
+// TestMakespanMonotoneInSlowdown is the property test: Stats.Makespan is
+// monotone nondecreasing in any single machine's slowdown factor, on both
+// slowdown axes the simulator has — a transient fault window and a
+// persistent profile speed.
+func TestMakespanMonotoneInSlowdown(t *testing.T) {
+	g := hetmpc.GNM(256, 2048, 11)
+	cfg := hetmpc.Config{N: 256, M: 2048, Seed: 11}
+	k := cfg.DeriveK()
+	factors := []float64{1, 4, 32, 256, 4096}
+
+	connectivity := func(c *hetmpc.Cluster) {
+		t.Helper()
+		r, err := hetmpc.Connectivity(c, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want := hetmpc.Components(g)
+		if r.Components != want {
+			t.Fatalf("components %d, want %d", r.Components, want)
+		}
+	}
+	for _, machine := range []int{0, k / 2, k - 1} {
+		prevWindow, prevSpeed := 0.0, 0.0
+		for _, f := range factors {
+			// Axis 1: transient fault-plan window covering the whole run.
+			c := cfg
+			if f > 1 {
+				c.Faults = &hetmpc.FaultPlan{Slowdowns: []hetmpc.FaultSlowdown{
+					{Machine: machine, From: 1, To: 1 << 20, Factor: f},
+				}}
+			}
+			cw, err := hetmpc.NewCluster(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			connectivity(cw)
+			if ms := cw.Stats().Makespan; ms < prevWindow {
+				t.Fatalf("machine %d: window makespan fell from %v to %v at factor %g",
+					machine, prevWindow, ms, f)
+			} else {
+				prevWindow = ms
+			}
+
+			// Axis 2: persistent profile speed 1/f on the same machine.
+			c = cfg
+			p := hetmpc.UniformProfile(k)
+			p.Speed[machine] = 1 / f
+			c.Profile = p
+			cs, err := hetmpc.NewCluster(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			connectivity(cs)
+			if ms := cs.Stats().Makespan; ms < prevSpeed {
+				t.Fatalf("machine %d: speed makespan fell from %v to %v at factor %g",
+					machine, prevSpeed, ms, f)
+			} else {
+				prevSpeed = ms
+			}
+		}
 	}
 }
