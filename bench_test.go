@@ -4,7 +4,8 @@ package hetmpc_test
 // BenchmarkE1_Table1 regenerates the paper's Table 1; E2..E16 are the
 // figure-style sweeps; E17..E19 sweep heterogeneous machine profiles and
 // report the simulated makespan (DESIGN.md §6); E20..E22 sweep the
-// fault-injection and recovery subsystem (DESIGN.md §7). Each benchmark
+// fault-injection and recovery subsystem (DESIGN.md §7); E23..E25 sweep
+// the placement-policy subsystem (DESIGN.md §8). Each benchmark
 // runs its experiment through the heterogeneous-MPC simulator, validates
 // every output against the exact references, and reports measured model
 // metrics via b.ReportMetric.
@@ -82,6 +83,9 @@ func BenchmarkE19_Bimodal(b *testing.B)              { runExp(b, "e19") }
 func BenchmarkE20_CrashRate(b *testing.B)            { runExp(b, "e20") }
 func BenchmarkE21_CheckpointInterval(b *testing.B)   { runExp(b, "e21") }
 func BenchmarkE22_StragglerCrash(b *testing.B)       { runExp(b, "e22") }
+func BenchmarkE23_PlacementPolicies(b *testing.B)    { runExp(b, "e23") }
+func BenchmarkE24_SpeculationDial(b *testing.B)      { runExp(b, "e24") }
+func BenchmarkE25_PlacementFaults(b *testing.B)      { runExp(b, "e25") }
 
 // --- direct algorithm micro-benchmarks with model-metric reporting ---
 

@@ -1,7 +1,8 @@
 // Command hetbench regenerates the paper's evaluation artifacts: the Table 1
 // comparison, the figure-style sweeps E2..E16, the heterogeneous-profile
-// sweeps E17..E19, and the fault-injection sweeps E20..E22 (see DESIGN.md
-// §2/§6/§7 and EXPERIMENTS.md).
+// sweeps E17..E19, the fault-injection sweeps E20..E22, and the
+// placement-policy sweeps E23..E25 (see DESIGN.md §2/§6/§7/§8 and
+// EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -21,6 +22,11 @@
 //	                            # slow:M:FROM:TO:FACTOR, restart:K, joined
 //	                            # by +); artifacts gain crashes /
 //	                            # recovery_rounds / replication_words
+//	hetbench -exp e18 -placement throughput
+//	                            # rebuild the clusters under a placement
+//	                            # policy (cap, throughput, speculate:R);
+//	                            # speculative traffic lands in
+//	                            # speculation_words
 package main
 
 import (
@@ -38,14 +44,15 @@ func main() {
 
 func run() int {
 	var (
-		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e22) or 'all'")
-		seedFlag    = flag.Uint64("seed", 7, "workload seed")
-		csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonFlag    = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, makespan, wall ns, allocs) instead of text tables")
-		outFlag     = flag.String("out", ".", "output directory for -json artifacts")
-		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
-		profileFlag = flag.String("profile", "", "machine profile applied to every experiment cluster: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN, custom:I=SPEED,...")
-		faultsFlag  = flag.String("faults", "", "fault plan applied to every experiment cluster: +-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)")
+		expFlag       = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e25) or 'all'")
+		seedFlag      = flag.Uint64("seed", 7, "workload seed")
+		csvFlag       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonFlag      = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, makespan, wall ns, allocs) instead of text tables")
+		outFlag       = flag.String("out", ".", "output directory for -json artifacts")
+		listFlag      = flag.Bool("list", false, "list experiment ids and exit")
+		profileFlag   = flag.String("profile", "", "machine profile applied to every experiment cluster: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN, custom:I=SPEED,...")
+		faultsFlag    = flag.String("faults", "", "fault plan applied to every experiment cluster: +-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)")
+		placementFlag = flag.String("placement", "", "placement policy applied to every experiment cluster: cap, throughput, speculate:R")
 	)
 	flag.Parse()
 
@@ -54,6 +61,10 @@ func run() int {
 		return 2
 	}
 	if err := exp.SetFaults(*faultsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "hetbench:", err)
+		return 2
+	}
+	if err := exp.SetPlacement(*placementFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		return 2
 	}
@@ -97,6 +108,9 @@ func run() int {
 			if art.Model.Crashes > 0 || art.Model.Checkpoints > 0 {
 				line += fmt.Sprintf(" crashes=%d recovery-rounds=%d repl-words=%d",
 					art.Model.Crashes, art.Model.RecoveryRounds, art.Model.ReplicationWords)
+			}
+			if art.Model.SpeculationWords > 0 {
+				line += fmt.Sprintf(" spec-words=%d", art.Model.SpeculationWords)
 			}
 			fmt.Println(line)
 			continue

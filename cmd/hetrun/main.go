@@ -19,6 +19,11 @@
 //	                                  # recovery rounds and replication words
 //	                                  # join the model line; the output is
 //	                                  # still validated exact
+//	hetrun -alg mst -profile straggler:2:8 -placement speculate:2
+//	                                  # placement policy (cap, throughput,
+//	                                  # speculate:R): work splits follow the
+//	                                  # policy, speculative copies land in
+//	                                  # spec-words on the model line
 package main
 
 import (
@@ -36,18 +41,19 @@ func main() {
 
 func run() int {
 	var (
-		alg     = flag.String("alg", "mst", "algorithm: mst, spanner, apsp, matching, matching-filter, connectivity, approx-mst, mincut, approx-mincut, mis, coloring, 2v1, baseline-mst, baseline-cc, baseline-mis, baseline-coloring, baseline-matching")
-		n       = flag.Int("n", 512, "vertices (generated workloads)")
-		m       = flag.Int("m", 4096, "edges (generated workloads)")
-		gen     = flag.String("gen", "gnm", "generator: gnm, connected, cycles, cycles2, hubs, grid, star")
-		input   = flag.String("input", "", "read the graph from a file instead of generating")
-		seed    = flag.Uint64("seed", 1, "seed for the workload and the cluster")
-		gamma   = flag.Float64("gamma", 0.5, "small-machine exponent γ")
-		f       = flag.Float64("f", 0, "large-machine extra exponent f")
-		k       = flag.Int("k", 4, "spanner parameter k")
-		eps     = flag.Float64("eps", 0.25, "approximation parameter ε")
-		profile = flag.String("profile", "", "machine profile: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN, custom:I=SPEED,...")
-		faults  = flag.String("faults", "", "fault plan: +-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)")
+		alg       = flag.String("alg", "mst", "algorithm: mst, spanner, apsp, matching, matching-filter, connectivity, approx-mst, mincut, approx-mincut, mis, coloring, 2v1, baseline-mst, baseline-cc, baseline-mis, baseline-coloring, baseline-matching")
+		n         = flag.Int("n", 512, "vertices (generated workloads)")
+		m         = flag.Int("m", 4096, "edges (generated workloads)")
+		gen       = flag.String("gen", "gnm", "generator: gnm, connected, cycles, cycles2, hubs, grid, star")
+		input     = flag.String("input", "", "read the graph from a file instead of generating")
+		seed      = flag.Uint64("seed", 1, "seed for the workload and the cluster")
+		gamma     = flag.Float64("gamma", 0.5, "small-machine exponent γ")
+		f         = flag.Float64("f", 0, "large-machine extra exponent f")
+		k         = flag.Int("k", 4, "spanner parameter k")
+		eps       = flag.Float64("eps", 0.25, "approximation parameter ε")
+		profile   = flag.String("profile", "", "machine profile: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN, custom:I=SPEED,...")
+		faults    = flag.String("faults", "", "fault plan: +-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)")
+		placement = flag.String("placement", "", "placement policy: cap, throughput, speculate:R")
 	)
 	flag.Parse()
 
@@ -70,6 +76,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
 		return 2
 	}
+	cfg.Placement, err = hetmpc.ParsePlacement(*placement)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetrun:", err)
+		return 2
+	}
 	c, err := hetmpc.NewCluster(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
@@ -83,6 +94,13 @@ func run() int {
 	if p := c.Faults(); p != nil {
 		fmt.Printf(" faults=%s", p.Name)
 	}
+	if p := c.Placement(); p.Name() != "cap" {
+		fmt.Printf(" placement=%s", p.Name())
+		if got := c.SpeculationR(); got != p.Speculation() {
+			// The dial was clamped to K/2: report what actually runs.
+			fmt.Printf(" (effective speculate:%d)", got)
+		}
+	}
 	fmt.Println()
 
 	if err := dispatch(c, g, *alg, *k, *eps); err != nil {
@@ -95,6 +113,9 @@ func run() int {
 	if c.FaultsActive() {
 		fmt.Printf(" crashes=%d recovery-rounds=%d checkpoints=%d repl-words=%d",
 			st.Crashes, st.RecoveryRounds, st.Checkpoints, st.ReplicationWords)
+	}
+	if st.SpeculationWords > 0 {
+		fmt.Printf(" spec-words=%d", st.SpeculationWords)
 	}
 	fmt.Println()
 	return 0

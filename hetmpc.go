@@ -26,6 +26,16 @@
 // and per-machine busy time on the Cluster. A nil profile reproduces the
 // paper's model exactly.
 //
+// How work is split across those machines is a pluggable placement policy
+// (Config.Placement; parser ParsePlacement, DESIGN.md §8): the default
+// capacity-proportional CapPlacement, the min-makespan
+// ThroughputPlacement (share ∝ min(capacity, effective speed)), and
+// SpeculatePlacement, which adds first-copy-wins redundant execution of
+// the slowest per-round shards on idle fast machines — speculative copies
+// are charged honestly in ClusterStats.SpeculationWords. Policies move
+// data, never correctness: every algorithm validates its output under
+// every policy.
+//
 // The simulator also measures what fault tolerance costs a
 // Heterogeneous-MPC algorithm: Config.Faults takes a deterministic
 // FaultPlan (crash schedules, transient slowdown windows, a checkpoint
@@ -62,6 +72,7 @@ import (
 	"hetmpc/internal/fault"
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
+	"hetmpc/internal/sched"
 	"hetmpc/internal/sublinear"
 )
 
@@ -77,6 +88,21 @@ type (
 	// Profile describes per-machine heterogeneity: capacity, compute speed
 	// and link bandwidth scales; nil is the paper's uniform cluster.
 	Profile = mpc.Profile
+	// PlacementPolicy decides how the placement primitives split work
+	// across heterogeneous machines (Config.Placement); nil is the
+	// capacity-proportional default. See CapPlacement,
+	// ThroughputPlacement, SpeculatePlacement and DESIGN.md §8.
+	PlacementPolicy = sched.Policy
+	// CapPlacement is the capacity-proportional placement policy (the
+	// default; bit-identical to a nil Config.Placement).
+	CapPlacement = sched.Cap
+	// ThroughputPlacement is the LPT-style min-makespan placement policy:
+	// share ∝ min(capacity share, effective speed).
+	ThroughputPlacement = sched.Throughput
+	// SpeculatePlacement is ThroughputPlacement plus redundant execution
+	// of the R slowest per-round shards on idle fast machines,
+	// first-copy-wins, charged in ClusterStats.SpeculationWords.
+	SpeculatePlacement = sched.Speculate
 	// FaultPlan is a deterministic fault-injection schedule plus the
 	// checkpoint cadence of the recovery protocol (Config.Faults); nil is
 	// the reliable cluster. See fault.Plan.
@@ -155,6 +181,13 @@ func StragglerProfile(k, stragglers int, slowdown float64) *Profile {
 // "bimodal:SLOWFRAC:FACTOR", "straggler:N:SLOWDOWN", "custom:I=SPEED,...")
 // for a k-machine cluster (k = Config.DeriveK()).
 func ParseProfile(spec string, k int) (*Profile, error) { return mpc.ParseProfile(spec, k) }
+
+// --- Placement policies (DESIGN.md §8) ---
+
+// ParsePlacement builds a placement policy from a CLI spec ("cap",
+// "throughput", "speculate:R"). The empty spec and "cap" return nil — the
+// capacity-proportional default.
+func ParsePlacement(spec string) (PlacementPolicy, error) { return sched.Parse(spec) }
 
 // --- Fault injection and recovery (DESIGN.md §7) ---
 

@@ -1,12 +1,15 @@
 // Package exp is the experiment harness: it regenerates the paper's Table 1
-// and the figure-style sweeps listed in DESIGN.md §2 (E1..E19), printing
+// and the figure-style sweeps listed in DESIGN.md §2 (E1..E25), printing
 // measured round counts, output quality and paper-predicted complexities
-// side by side. E17–E19 go beyond the paper's uniform model: they sweep
+// side by side. E17–E25 go beyond the paper's uniform model: E17–E19 sweep
 // heterogeneous machine profiles (capacity skew, stragglers, fast/slow
 // cohorts; DESIGN.md §6) and report the simulated makespan next to the
-// round counts. It is consumed by cmd/hetbench and by the top-level
+// round counts, E20–E22 sweep the fault-injection and recovery subsystem
+// (DESIGN.md §7), and E23–E25 sweep the placement policies and speculation
+// (DESIGN.md §8). It is consumed by cmd/hetbench and by the top-level
 // benchmarks in bench_test.go; EXPERIMENTS.md records representative
-// output, and SetProfile rebuilds any experiment under a chosen profile.
+// output, and SetProfile/SetFaults/SetPlacement rebuild any experiment
+// under a chosen profile, fault plan or placement policy.
 package exp
 
 import (

@@ -30,6 +30,10 @@ type ModelStats struct {
 	RecoveryRounds   int   `json:"recovery_rounds"`
 	Checkpoints      int   `json:"checkpoints"`
 	ReplicationWords int64 `json:"replication_words"`
+
+	// SpeculationWords is the redundant traffic launched by speculate:R
+	// placement (DESIGN.md §8); zero under cap and throughput.
+	SpeculationWords int64 `json:"speculation_words"`
 }
 
 func (m *ModelStats) add(s mpc.Stats) {
@@ -48,6 +52,7 @@ func (m *ModelStats) add(s mpc.Stats) {
 	m.RecoveryRounds += s.RecoveryRounds
 	m.Checkpoints += s.Checkpoints
 	m.ReplicationWords += s.ReplicationWords
+	m.SpeculationWords += s.SpeculationWords
 }
 
 // Artifact is one machine-readable bench record: the experiment's table plus
@@ -65,7 +70,11 @@ type Artifact struct {
 	// Faults is the cross-cutting fault-plan spec (SetFaults / hetbench
 	// -faults); empty = the reliable cluster. Like Profile it re-names the
 	// artifact so faulted runs never clobber the committed baseline.
-	Faults     string     `json:"faults,omitempty"`
+	Faults string `json:"faults,omitempty"`
+	// Placement is the cross-cutting placement-policy spec (SetPlacement /
+	// hetbench -placement); empty = the capacity-proportional default.
+	// Like Profile and Faults it re-names the artifact.
+	Placement  string     `json:"placement,omitempty"`
 	GoVersion  string     `json:"go_version"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	WallNS     int64      `json:"wall_ns"`
@@ -85,12 +94,14 @@ var tracker struct {
 	sync.Mutex
 	active   bool
 	clusters []*mpc.Cluster
-	// Whether the SetProfile/SetFaults overrides actually reached at least
-	// one cluster of the running experiment. Experiments that pin their
-	// own Profile/Faults ignore the overrides; their artifacts must not be
-	// tagged (and renamed) as if they ran under them.
-	profileApplied bool
-	faultsApplied  bool
+	// Whether the SetProfile/SetFaults/SetPlacement overrides actually
+	// reached at least one cluster of the running experiment. Experiments
+	// that pin their own Profile/Faults/Placement ignore the overrides;
+	// their artifacts must not be tagged (and renamed) as if they ran
+	// under them.
+	profileApplied   bool
+	faultsApplied    bool
+	placementApplied bool
 }
 
 func trackCluster(c *mpc.Cluster) {
@@ -103,10 +114,11 @@ func trackCluster(c *mpc.Cluster) {
 
 // trackOverrides records that build() injected the cross-cutting overrides
 // into a cluster of the in-flight experiment.
-func trackOverrides(profile, faults bool) {
+func trackOverrides(profile, faults, placement bool) {
 	tracker.Lock()
 	tracker.profileApplied = tracker.profileApplied || profile
 	tracker.faultsApplied = tracker.faultsApplied || faults
+	tracker.placementApplied = tracker.placementApplied || placement
 	tracker.Unlock()
 }
 
@@ -122,7 +134,7 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	tracker.Lock()
 	tracker.active = true
 	tracker.clusters = tracker.clusters[:0]
-	tracker.profileApplied, tracker.faultsApplied = false, false
+	tracker.profileApplied, tracker.faultsApplied, tracker.placementApplied = false, false, false
 	tracker.Unlock()
 
 	var msBefore, msAfter runtime.MemStats
@@ -135,6 +147,7 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	tracker.Lock()
 	clusters := tracker.clusters
 	profileApplied, faultsApplied := tracker.profileApplied, tracker.faultsApplied
+	placementApplied := tracker.placementApplied
 	tracker.clusters = nil
 	tracker.active = false
 	tracker.Unlock()
@@ -161,6 +174,9 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	if faultsApplied {
 		a.Faults = faultSpec
 	}
+	if placementApplied {
+		a.Placement = placementSpec
+	}
 	for _, c := range clusters {
 		a.Model.add(c.Stats())
 	}
@@ -168,10 +184,10 @@ func Run(id string, seed uint64) (*Artifact, error) {
 }
 
 // WriteFile writes the artifact as BENCH_<exp>.json under dir (created if
-// missing) and returns the path. Artifacts produced under a profile or
-// fault-plan override are written as BENCH_<exp>@<profile>.json /
-// BENCH_<exp>@faults=<plan>.json so they never clobber the committed
-// baseline.
+// missing) and returns the path. Artifacts produced under a profile,
+// fault-plan or placement override are written as BENCH_<exp>@<profile>.json
+// / BENCH_<exp>@faults=<plan>.json / BENCH_<exp>@place=<policy>.json so
+// they never clobber the committed baseline.
 func (a *Artifact) WriteFile(dir string) (string, error) {
 	if dir == "" {
 		dir = "."
@@ -188,6 +204,9 @@ func (a *Artifact) WriteFile(dir string) (string, error) {
 	}
 	if a.Faults != "" {
 		name += "@faults=" + sanitize(a.Faults)
+	}
+	if a.Placement != "" {
+		name += "@place=" + sanitize(a.Placement)
 	}
 	path := filepath.Join(dir, name+".json")
 	data, err := json.MarshalIndent(a, "", "  ")

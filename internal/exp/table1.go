@@ -7,6 +7,7 @@ import (
 	"hetmpc/internal/fault"
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
+	"hetmpc/internal/sched"
 	"hetmpc/internal/sublinear"
 )
 
@@ -27,10 +28,11 @@ func newSub(n, m int, seed uint64) (*mpc.Cluster, error) {
 	return build(mpc.Config{N: n, M: m, NoLarge: true, Seed: seed})
 }
 
-// build applies the package profile and fault-plan overrides (SetProfile,
-// SetFaults), constructs the cluster and registers it with the run tracker.
+// build applies the package profile, fault-plan and placement overrides
+// (SetProfile, SetFaults, SetPlacement), constructs the cluster and
+// registers it with the run tracker.
 func build(cfg mpc.Config) (*mpc.Cluster, error) {
-	profileApplied, faultsApplied := false, false
+	profileApplied, faultsApplied, placementApplied := false, false, false
 	if profileSpec != "" && cfg.Profile == nil {
 		p, err := mpc.ParseProfile(profileSpec, cfg.DeriveK())
 		if err != nil {
@@ -47,11 +49,19 @@ func build(cfg mpc.Config) (*mpc.Cluster, error) {
 		cfg.Faults = p
 		faultsApplied = p != nil // "none" parses to nil: baseline, no tag
 	}
+	if placementSpec != "" && cfg.Placement == nil {
+		p, err := sched.Parse(placementSpec)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Placement = p
+		placementApplied = p != nil // "cap" parses to nil: baseline, no tag
+	}
 	c, err := mpc.New(cfg)
 	if err == nil {
 		trackCluster(c)
-		if profileApplied || faultsApplied {
-			trackOverrides(profileApplied, faultsApplied)
+		if profileApplied || faultsApplied || placementApplied {
+			trackOverrides(profileApplied, faultsApplied, placementApplied)
 		}
 	}
 	return c, err
@@ -62,6 +72,10 @@ var profileSpec string
 
 // faultSpec is the cross-cutting fault-plan override; see SetFaults.
 var faultSpec string
+
+// placementSpec is the cross-cutting placement-policy override; see
+// SetPlacement.
+var placementSpec string
 
 // specProbeK is the machine count the override setters pre-validate their
 // specs against: large enough that machine-addressed clauses (custom:…,
@@ -92,6 +106,20 @@ func SetFaults(spec string) error {
 		return err
 	}
 	faultSpec = spec
+	return nil
+}
+
+// SetPlacement installs a placement-policy spec (sched.Parse syntax) that
+// every subsequently built experiment cluster adopts — e.g. run Table 1
+// under "throughput" or "speculate:2" and compare the makespan column
+// against the committed cap baseline. The empty spec (or "cap") restores
+// the capacity-proportional default. Experiments that pin their own policy
+// (E23–E25) ignore the override, exactly like pinned profiles and plans.
+func SetPlacement(spec string) error {
+	if _, err := sched.Parse(spec); err != nil {
+		return err
+	}
+	placementSpec = spec
 	return nil
 }
 

@@ -129,6 +129,15 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 		}
 		addPlan(Large, outLarge)
 	}
+	// outs may be shorter than K (machines that do not speak), but an entry
+	// at or beyond K is a sender the cluster does not have: refusing it
+	// loudly beats the silent drop it used to be.
+	for i := c.k; i < len(outs); i++ {
+		if len(outs[i]) > 0 {
+			return nil, nil, fmt.Errorf("%w: outs[%d] holds %d messages but the cluster has K=%d small machines",
+				ErrUnknownSender, i, len(outs[i]), c.k)
+		}
+	}
 	for i := 0; i < len(outs) && i < c.k; i++ {
 		if len(outs[i]) == 0 {
 			continue
@@ -264,17 +273,25 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 	// machine's time, w_i · (1/Speed_i + 1/Bandwidth_i) over the words it
 	// moved (scaled by any transient slowdown window of the fault plan).
 	// The scan runs serially in slot order, so the float accumulation is
-	// deterministic under any GOMAXPROCS.
+	// deterministic under any GOMAXPROCS. Under a speculate:R placement
+	// policy the scan additionally mirrors the R slowest shards onto idle
+	// fast machines, first-copy-wins (placement.go, DESIGN.md §8); the
+	// default path below is untouched, so cap and throughput runs are
+	// bit-identical to the pre-policy accounting.
 	var roundMax float64
-	for slot := 0; slot <= c.k; slot++ {
-		w := sc.sendWords[slot] + sc.recvWords[slot]
-		if w == 0 {
-			continue
-		}
-		t := float64(w) * c.slowCost(slot)
-		c.busy[slot] += t
-		if t > roundMax {
-			roundMax = t
+	if c.specR > 0 {
+		roundMax = c.speculateRoundMax(sc.sendWords, sc.recvWords)
+	} else {
+		for slot := 0; slot <= c.k; slot++ {
+			w := sc.sendWords[slot] + sc.recvWords[slot]
+			if w == 0 {
+				continue
+			}
+			t := float64(w) * c.slowCost(slot)
+			c.busy[slot] += t
+			if t > roundMax {
+				roundMax = t
+			}
 		}
 	}
 	c.stats.Makespan += c.latency + roundMax

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -163,6 +164,42 @@ func TestExchangeReuseAcrossRounds(t *testing.T) {
 	}
 	if c.Stats().Messages != int64(5*c.K()) {
 		t.Fatalf("messages = %d, want %d", c.Stats().Messages, 5*c.K())
+	}
+}
+
+// TestExchangeRejectsOutOfRangeSender is the regression test for the
+// silent-drop bug: outs entries at or beyond K were clamped away by the
+// sender loop, losing their traffic without a trace. Exchange must refuse
+// them with ErrUnknownSender, naming the out-of-range sender, and deliver
+// nothing — while outs that are merely longer than K but empty past the end
+// stay legal.
+func TestExchangeRejectsOutOfRangeSender(t *testing.T) {
+	c := newTest(t, Config{N: 64, M: 256, Seed: 1})
+	k := c.K()
+
+	outs := make([][]Msg, k+3)
+	outs[0] = []Msg{{To: 1, Words: 1, Data: "legit"}}
+	outs[k+1] = []Msg{{To: 0, Words: 1, Data: "ghost"}}
+	ins, inLarge, err := c.Exchange(outs, nil)
+	if !errors.Is(err, ErrUnknownSender) {
+		t.Fatalf("out-of-range sender: err = %v, want ErrUnknownSender", err)
+	}
+	if want := fmt.Sprintf("outs[%d]", k+1); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the out-of-range sender %s", err, want)
+	}
+	if ins != nil || inLarge != nil {
+		t.Fatal("a failed exchange must deliver nothing")
+	}
+
+	// Empty tail entries beyond K are the documented "few machines speak"
+	// shape and must not error; the in-range message must be delivered.
+	outs[k+1] = nil
+	ins, _, err = c.Exchange(outs, nil)
+	if err != nil {
+		t.Fatalf("empty tail: %v", err)
+	}
+	if len(ins[1]) != 1 || ins[1][0].Data != "legit" {
+		t.Fatalf("in-range message lost: %+v", ins[1])
 	}
 }
 

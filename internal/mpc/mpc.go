@@ -30,6 +30,7 @@ import (
 	"math/rand/v2"
 
 	"hetmpc/internal/fault"
+	"hetmpc/internal/sched"
 	"hetmpc/internal/xrand"
 )
 
@@ -42,6 +43,11 @@ var ErrCapacity = errors.New("mpc: capacity exceeded")
 // ErrRounds is returned when a run exceeds the configured round budget
 // (a safety valve against non-terminating algorithms).
 var ErrRounds = errors.New("mpc: round budget exhausted")
+
+// ErrUnknownSender is wrapped by Exchange when outs names a sender outside
+// the cluster (an index at or beyond K holding messages). Before this error
+// existed such traffic was silently dropped.
+var ErrUnknownSender = errors.New("mpc: sender outside the cluster")
 
 // Msg is one point-to-point message. Words is the accounted size; Data is
 // the payload (typed per algorithm and asserted on receipt).
@@ -78,6 +84,12 @@ type Config struct {
 	// Profile describes per-machine heterogeneity (capacity, speed,
 	// bandwidth); nil is the paper's uniform cluster. See Profile.
 	Profile *Profile
+
+	// Placement is the policy deciding how the placement primitives split
+	// work across the small machines (sched.Cap, sched.Throughput,
+	// sched.Speculate). Nil is the capacity-proportional default,
+	// bit-identical to the pre-policy simulator. See sched and DESIGN.md §8.
+	Placement sched.Policy
 
 	// Faults is a deterministic fault-injection schedule (crashes,
 	// transient slowdowns) plus the checkpoint cadence of the recovery
@@ -128,6 +140,12 @@ type Stats struct {
 	RecoveryRounds   int   `json:"recovery_rounds"`   // extra barrier rounds spent detecting, restoring, replaying and waiting out restarts
 	Checkpoints      int   `json:"checkpoints"`       // checkpoint barriers taken
 	ReplicationWords int64 `json:"replication_words"` // checkpoint replication + crash restore traffic
+
+	// SpeculationWords is the redundant traffic launched by a speculate:R
+	// placement policy (DESIGN.md §8): every word of a slow shard mirrored
+	// onto a fast partner machine is charged here and in the partner's busy
+	// time, so speculation is never free. Zero under cap and throughput.
+	SpeculationWords int64 `json:"speculation_words"`
 }
 
 // Cluster is a running heterogeneous MPC system.
@@ -144,11 +162,18 @@ type Cluster struct {
 	// Heterogeneity state (uniform when cfg.Profile is nil).
 	smallCaps   []int     // per-machine capacity: CapScale[i] · smallCap
 	minSmallCap int       // min over smallCaps; tree/broadcast sizing bound
-	capShare    []float64 // CapScale normalized to max 1; placement weights
+	capShare    []float64 // CapScale normalized to max 1; capacity weights
 	uniformCaps bool      // all small capacities equal
 	invCost     []float64 // per slot (0=large, 1+i=small): 1/Speed + 1/Bandwidth
 	busy        []float64 // per slot, accumulated simulated busy time
 	latency     float64   // per-round synchronization cost
+
+	// Placement state (sched policy; Cap when cfg.Placement is nil).
+	placement    sched.Policy
+	placeShare   []float64 // per-machine placement weight from the policy
+	uniformPlace bool      // all placement shares equal: even-split fast path
+	specR        int       // speculate:R redundancy dial (0 = off)
+	spec         *specScratch
 
 	// Fault-injection and recovery engine (nil unless cfg.Faults is an
 	// active plan). See recover.go and DESIGN.md §7.
@@ -209,6 +234,9 @@ func New(cfg Config) (*Cluster, error) {
 		c.rngs[i] = xrand.New(xrand.Split(cfg.Seed, uint64(i)+1))
 	}
 	if err := c.applyProfile(cfg.Profile); err != nil {
+		return nil, err
+	}
+	if err := c.applyPlacement(cfg.Placement); err != nil {
 		return nil, err
 	}
 	if err := c.applyFaults(cfg.Faults); err != nil {
@@ -292,15 +320,36 @@ func (c *Cluster) SmallCapOf(i int) int { return c.smallCaps[i] }
 func (c *Cluster) MinSmallCap() int { return c.minSmallCap }
 
 // CapShare returns small machine i's capacity scale normalized so the
-// largest machine has share 1. Placement primitives allot load proportional
-// to it (Frisk's balancing rule); on uniform profiles every share is
-// exactly 1.
+// largest machine has share 1. Under the default Cap placement policy it is
+// also the machine's placement weight (Frisk's balancing rule); on uniform
+// profiles every share is exactly 1.
 func (c *Cluster) CapShare(i int) float64 { return c.capShare[i] }
 
 // UniformCaps reports whether all small machines have equal capacity (true
-// for nil and uniform profiles), letting placement take the even-split
-// fast path.
+// for nil and uniform profiles).
 func (c *Cluster) UniformCaps() bool { return c.uniformCaps }
+
+// PlaceShare returns small machine i's placement weight under the cluster's
+// placement policy (DESIGN.md §8). The placement primitives
+// (prims.DistributeEdges, prims.Sort splitter weighting and, through Sort,
+// prims.AggregateByKey) allot load proportional to it. Under the default
+// Cap policy it equals CapShare(i) exactly.
+func (c *Cluster) PlaceShare(i int) float64 { return c.placeShare[i] }
+
+// UniformPlacement reports whether every machine has the same placement
+// weight, letting placement take the even-split fast path. Under the
+// default Cap policy it preserves the legacy UniformCaps semantics exactly;
+// other policies compare their share vectors.
+func (c *Cluster) UniformPlacement() bool { return c.uniformPlace }
+
+// Placement returns the cluster's placement policy (never nil; the default
+// is sched.Cap).
+func (c *Cluster) Placement() sched.Policy { return c.placement }
+
+// SpeculationR returns the effective speculate:R dial this cluster runs:
+// the policy's requested R clamped to K/2 (every speculated shard needs a
+// distinct partner machine). 0 when the policy does not speculate.
+func (c *Cluster) SpeculationR() int { return c.specR }
 
 // Profile returns the cluster's machine profile (nil = uniform).
 func (c *Cluster) Profile() *Profile { return c.cfg.Profile }
@@ -327,11 +376,25 @@ func (c *Cluster) Stats() Stats { return c.stats }
 func (c *Cluster) Rounds() int { return c.stats.Rounds }
 
 // ResetStats zeroes the metrics, including per-machine busy times
-// (capacities are unchanged).
+// (capacities are unchanged), and rebases the fault engine's round clock:
+// the round-keyed recovery state — last-checkpoint rounds, restart-downtime
+// windows, held replica sizes — resets with the counter, so the checkpoint
+// cadence restarts from the reset and no machine is left inside a downtime
+// window addressed in pre-reset round numbers. A plan's round-addressed
+// schedules (Crash.Round, Slowdown.From/To, the rate hash) are therefore
+// interpreted relative to the most recent reset: resetting mid-run replays
+// the plan from its round 1, exactly as if the cluster had been rebuilt.
 func (c *Cluster) ResetStats() {
 	c.stats = Stats{}
 	for i := range c.busy {
 		c.busy[i] = 0
+	}
+	if c.ft != nil {
+		for i := 0; i < c.k; i++ {
+			c.ft.lastCkpt[i] = 0
+			c.ft.downUntil[i] = 0
+			c.ft.replicaWords[i] = 0
+		}
 	}
 }
 
@@ -347,8 +410,17 @@ func (c *Cluster) BusyTime(id int) float64 {
 }
 
 // BusyImbalance returns max/mean of the small machines' busy times (1 =
-// perfectly balanced; 0 when no traffic has flowed).
+// perfectly balanced). It is defined as 0 — never NaN — in the degenerate
+// cases: a cluster where no small-machine traffic has flowed yet (all busy
+// times zero, including freshly built and NoLarge clusters before their
+// first Exchange), and the k == 0 cluster, which New can never build
+// (DeriveK floors K at 2) but a zero-value Cluster would present. NoLarge
+// only removes the large machine; the imbalance is over small machines and
+// behaves identically with or without it.
 func (c *Cluster) BusyImbalance() float64 {
+	if c.k == 0 {
+		return 0
+	}
 	var max, sum float64
 	for i := 0; i < c.k; i++ {
 		b := c.busy[1+i]

@@ -14,6 +14,14 @@ import (
 // machine of its run ("M_first(key)" in the paper); roots[i] maps the keys
 // finalized at machine i.
 //
+// Bucket assignment is placement-aware through the Sort step: the key
+// ranges each machine ends up owning follow the cluster's placement policy
+// (PlaceShare weighting of the splitters, DESIGN.md §8), so slow or small
+// machines own fewer keys under throughput/speculate placement. The
+// tree-combine branching stays capacity-bounded (MinSmallCap), since a
+// tree message must fit the receiving machine regardless of its placement
+// weight.
+//
 // If gatherLarge is true an extra round ships every (key, value) to the
 // large machine and atLarge holds them all; the caller is responsible for
 // the total fitting the large machine's capacity (≤ Õ(n) keys, as in every

@@ -20,19 +20,22 @@ const EdgeWords = 3
 var ErrZeroCapacity = errors.New("prims: zero total capacity")
 
 // DistributeEdges places the input graph's edges on the small machines in
-// proportion to their capacities. This models the paper's "edges initially
-// stored on the small machines arbitrarily" and costs no rounds (it is the
-// input placement). On uniform profiles it is an exact round-robin (machine
-// j%k gets edge j); under capacity skew the allotment follows Frisk's
-// balancing rule — machine i holds a CapShare(i)/ΣCapShare fraction — via
-// smooth weighted round-robin, which reduces to plain round-robin when all
-// shares are equal. A profile whose capacity shares sum to zero yields
-// ErrZeroCapacity. The placed buckets are registered as the machines'
-// recoverable state (RegisterState) when fault injection is active.
+// proportion to their placement weights under the cluster's placement
+// policy (DESIGN.md §8): capacity shares under the default cap policy
+// (Frisk's balancing rule), min(capacity, effective speed) under
+// throughput/speculate. This models the paper's "edges initially stored on
+// the small machines arbitrarily" and costs no rounds (it is the input
+// placement). With uniform weights it is an exact round-robin (machine j%k
+// gets edge j); under skew the allotment is a smooth weighted round-robin —
+// machine i holds a PlaceShare(i)/ΣPlaceShare fraction — which reduces to
+// plain round-robin when all weights are equal. A policy whose weights sum
+// to zero yields ErrZeroCapacity. The placed buckets are registered as the
+// machines' recoverable state (RegisterState) when fault injection is
+// active.
 func DistributeEdges(c *mpc.Cluster, g *graph.Graph) ([][]graph.Edge, error) {
 	k := c.K()
 	out := make([][]graph.Edge, k)
-	if c.UniformCaps() {
+	if c.UniformPlacement() {
 		per := (len(g.Edges) + k - 1) / k
 		for i := range out {
 			out[i] = make([]graph.Edge, 0, per)
@@ -45,7 +48,7 @@ func DistributeEdges(c *mpc.Cluster, g *graph.Graph) ([][]graph.Edge, error) {
 	}
 	shares := make([]float64, k)
 	for i := range shares {
-		shares[i] = c.CapShare(i)
+		shares[i] = c.PlaceShare(i)
 	}
 	owner, err := weightedAssign(len(g.Edges), shares)
 	if err != nil {

@@ -1,0 +1,145 @@
+package prims
+
+import (
+	"testing"
+
+	"hetmpc/internal/graph"
+	"hetmpc/internal/mpc"
+	"hetmpc/internal/sched"
+)
+
+func placementCluster(t *testing.T, profile func(k int) *mpc.Profile, pol sched.Policy) *mpc.Cluster {
+	t.Helper()
+	cfg := mpc.Config{N: 256, M: 4096, Seed: 3, Placement: pol}
+	if profile != nil {
+		cfg.Profile = profile(cfg.DeriveK())
+	}
+	c, err := mpc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPlacementPolicies is the table-driven policy test over the placement
+// primitives: on a uniform profile every policy is bit-identical to cap
+// (same buckets, same stats); under skew the buckets follow the policy's
+// shares while the sorted output stays the same sequence.
+func TestPlacementPolicies(t *testing.T) {
+	g := graph.GNMWeighted(256, 4096, 5)
+	straggler := func(k int) *mpc.Profile { return mpc.StragglerProfile(k, 2, 8) }
+
+	type run struct {
+		placed []int // items per machine after DistributeEdges
+		sorted []graph.Edge
+		stats  mpc.Stats
+	}
+	do := func(profile func(k int) *mpc.Profile, pol sched.Policy) run {
+		c := placementCluster(t, profile, pol)
+		data, err := DistributeEdges(c, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed := make([]int, c.K())
+		for i := range data {
+			placed[i] = len(data[i])
+		}
+		sorted, err := Sort(c, data, EdgeWords, edgeKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsGloballySorted(sorted, edgeKey) {
+			t.Fatal("sort postcondition violated")
+		}
+		return run{placed: placed, sorted: Flatten(sorted), stats: c.Stats()}
+	}
+	same := func(a, b []graph.Edge) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Uniform profile: cap, throughput and speculate place identically
+	// (all shares exactly 1) and produce bit-identical stats — speculation
+	// never launches a copy between equal machines.
+	capU := do(nil, nil)
+	for _, pol := range []sched.Policy{sched.Throughput{}, sched.Speculate{R: 2}} {
+		r := do(nil, pol)
+		if r.stats != capU.stats {
+			t.Fatalf("%s on uniform profile diverged from cap:\n cap: %+v\n got: %+v", pol.Name(), capU.stats, r.stats)
+		}
+		if !same(r.sorted, capU.sorted) {
+			t.Fatalf("%s on uniform profile changed the sorted output", pol.Name())
+		}
+	}
+
+	// Straggler profile: throughput hands the slow tail a smaller bucket
+	// than cap does, the output sequence is unchanged, and the makespan
+	// improves strictly.
+	capS := do(straggler, nil)
+	thrS := do(straggler, sched.Throughput{})
+	k := len(capS.placed)
+	if thrS.placed[k-1] >= capS.placed[k-1] {
+		t.Fatalf("throughput did not shrink the straggler's bucket: cap %d, throughput %d",
+			capS.placed[k-1], thrS.placed[k-1])
+	}
+	if !same(thrS.sorted, capS.sorted) {
+		t.Fatal("throughput changed the sorted output")
+	}
+	if thrS.stats.Rounds != capS.stats.Rounds {
+		t.Fatalf("throughput changed the round structure: %d vs %d", thrS.stats.Rounds, capS.stats.Rounds)
+	}
+	if thrS.stats.Makespan >= capS.stats.Makespan {
+		t.Fatalf("throughput makespan %v not below cap %v", thrS.stats.Makespan, capS.stats.Makespan)
+	}
+
+	// Speculation: same placement as throughput, strictly lower makespan
+	// than cap, honest extra words, identical output and round structure.
+	specS := do(straggler, sched.Speculate{R: 2})
+	if !same(specS.sorted, capS.sorted) {
+		t.Fatal("speculate changed the sorted output")
+	}
+	if specS.stats.Rounds != capS.stats.Rounds {
+		t.Fatalf("speculate changed the round structure: %d vs %d", specS.stats.Rounds, capS.stats.Rounds)
+	}
+	if specS.stats.Makespan >= capS.stats.Makespan {
+		t.Fatalf("speculate makespan %v not strictly below cap %v", specS.stats.Makespan, capS.stats.Makespan)
+	}
+	if specS.stats.Makespan > thrS.stats.Makespan {
+		t.Fatalf("speculate makespan %v above plain throughput %v", specS.stats.Makespan, thrS.stats.Makespan)
+	}
+	if specS.stats.SpeculationWords <= 0 {
+		t.Fatal("speculate launched no copies on a straggler profile")
+	}
+	if capS.stats.SpeculationWords != 0 || thrS.stats.SpeculationWords != 0 {
+		t.Fatal("non-speculative policies charged speculation words")
+	}
+}
+
+// TestPlacementFollowsShares: the DistributeEdges allotment tracks the
+// policy's weights within one item (largest-remainder apportionment).
+func TestPlacementFollowsShares(t *testing.T) {
+	g := graph.GNMWeighted(256, 4096, 5)
+	c := placementCluster(t, func(k int) *mpc.Profile { return mpc.StragglerProfile(k, 2, 8) }, sched.Throughput{})
+	data, err := DistributeEdges(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for i := 0; i < c.K(); i++ {
+		total += c.PlaceShare(i)
+	}
+	for i := 0; i < c.K(); i++ {
+		want := float64(len(g.Edges)) * c.PlaceShare(i) / total
+		got := float64(len(data[i]))
+		if got < want-1 || got > want+1 {
+			t.Fatalf("machine %d holds %v items, want %v ± 1 (share %v)", i, got, want, c.PlaceShare(i))
+		}
+	}
+}

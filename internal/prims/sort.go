@@ -133,18 +133,20 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 		}
 	}
 	slices.SortStableFunc(samples, func(a, b weighted) int { return a.key.Compare(b.key) })
-	// Splitter targets are capacity-weighted: bucket i should hold a
-	// CapShare(i)/Σ share of the items (Frisk's balancing rule), so
-	// capacity-skewed machines receive only what they can absorb. With
-	// uniform shares (all exactly 1) this reduces to the even split
-	// total/k.
+	// Splitter targets are placement-weighted: bucket i should hold a
+	// PlaceShare(i)/Σ share of the items under the cluster's placement
+	// policy (DESIGN.md §8) — capacity shares under the default cap policy
+	// (Frisk's balancing rule), min(capacity, effective speed) under
+	// throughput/speculate — so skewed machines receive only what they can
+	// absorb (or move in time). With uniform weights (all exactly 1) this
+	// reduces to the even split total/k.
 	splitters := make([]SortKey, 0, k-1)
 	if len(samples) > 0 && total > 0 {
 		var totalShare float64
-		prefix := make([]float64, k) // prefix[j] = Σ_{i<j} CapShare(i)
+		prefix := make([]float64, k) // prefix[j] = Σ_{i<j} PlaceShare(i)
 		for i := 0; i < k; i++ {
 			prefix[i] = totalShare
-			totalShare += c.CapShare(i)
+			totalShare += c.PlaceShare(i)
 		}
 		var cum float64
 		next := 1

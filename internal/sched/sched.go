@@ -1,0 +1,181 @@
+// Package sched is the placement-policy subsystem: it decides how the
+// toolbox primitives split work across heterogeneous small machines.
+//
+// The paper's model places work uniformly; the heterogeneous cost model
+// (DESIGN.md §6) made placement capacity-proportional, which keeps every
+// machine inside its per-round cap but ignores speed — a fast-but-small
+// machine idles while a slow-but-big one sets the makespan. That assignment
+// problem is exactly the heterogeneous-machine query-processing setting of
+// Frisk & Koutris ("Parallel Query Processing with Heterogeneous Machines"),
+// and the redundant-work mitigation comes from Reisizadeh et al. ("Coded
+// Computation over Heterogeneous Clusters"). This package makes the policy
+// pluggable:
+//
+//   - Cap — the capacity-proportional split; the default, bit-identical to
+//     the pre-policy behavior (share_i = CapShare_i);
+//   - Throughput — an LPT-style min-makespan split: share_i proportional to
+//     min(CapShare_i, effective speed under 1/Speed_i + 1/Bandwidth_i), so
+//     slow machines hold less work and a fast-but-small machine is never
+//     weighted beyond its memory (see Throughput for what the clip does
+//     and does not guarantee about absolute caps);
+//   - Speculate — Throughput placement plus redundant execution of the R
+//     slowest per-round shards on idle fast machines, first-copy-wins; the
+//     speculative copies are charged honestly (mpc.Stats.SpeculationWords
+//     and the partner's busy time).
+//
+// A policy only returns static placement weights; the per-round
+// first-copy-wins accounting of Speculate lives in the mpc makespan scan
+// (DESIGN.md §8), because only the simulator sees per-round traffic and
+// transient slowdown windows. Policies never change what a correct
+// algorithm computes — placement moves data between machines, and every
+// experiment validates its output against the exact references under every
+// policy.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// Machines describes the cluster to a policy: one entry per small machine.
+// Both slices are normalized views the simulator derives from its Profile;
+// policies must not mutate them.
+type Machines struct {
+	// CapShare is the per-machine capacity scale normalized so the largest
+	// machine has share 1 (mpc.Cluster.CapShare).
+	CapShare []float64
+	// InvCost is the per-machine per-word time, 1/Speed + 1/Bandwidth —
+	// the same quantity the makespan scan charges (DESIGN.md §6). Uniform
+	// clusters have 2 everywhere.
+	InvCost []float64
+}
+
+// Policy decides the relative share of work each small machine is allotted
+// by the placement primitives (prims.DistributeEdges, prims.Sort splitter
+// weighting and, through Sort, AggregateByKey's bucket assignment).
+type Policy interface {
+	// Name labels tables, artifacts and error messages ("cap",
+	// "throughput", "speculate:2").
+	Name() string
+	// Shares returns one positive finite placement weight per machine.
+	// Only ratios matter; the primitives normalize. It is an error for a
+	// degenerate Machines description (e.g. non-positive InvCost) to reach
+	// a policy that needs it.
+	Shares(m Machines) ([]float64, error)
+	// Speculation returns R, the number of slowest per-round shards the
+	// simulator redundantly executes on idle fast machines (0 = none).
+	Speculation() int
+}
+
+// Cap is the capacity-proportional policy: share_i = CapShare_i, the
+// placement rule the cost-model subsystem shipped with (Frisk's balancing
+// rule). It is the default — a nil mpc.Config.Placement behaves exactly
+// like Cap — and is bit-identical to the pre-policy simulator on every
+// profile.
+type Cap struct{}
+
+// Name implements Policy.
+func (Cap) Name() string { return "cap" }
+
+// Shares implements Policy: the capacity shares themselves.
+func (Cap) Shares(m Machines) ([]float64, error) {
+	return slices.Clone(m.CapShare), nil
+}
+
+// Speculation implements Policy: Cap never speculates.
+func (Cap) Speculation() int { return 0 }
+
+// Throughput is the min-makespan policy: share_i ∝ min(CapShare_i, thr_i)
+// where thr_i = (1/InvCost_i) normalized so the fastest machine has 1 —
+// each machine is asked to hold work proportional to how fast it can move
+// it, clipped by its capacity share so a fast-but-small machine is never
+// weighted beyond its memory. Note what the clip does and does not
+// guarantee: it bounds each machine's weight *relative to the fastest*,
+// but because the primitives normalize shares, shrinking the slow
+// machines' weights necessarily inflates everyone else's normalized
+// fraction above the capacity-proportional allotment (any placement whose
+// fractions never exceed Cap's anywhere is Cap itself). Per-machine caps
+// are still enforced exactly — by Exchange, loudly — so a workload sized
+// to the brim of the Cap split can trip ErrCapacity under Throughput;
+// the experiments' workloads leave the usual Õ slack. On a pure
+// capacity skew (speeds uniform, e.g. Zipf profiles) thr_i = 1 and the
+// policy reduces to Cap exactly; on a uniform profile every share is
+// exactly 1 and the placement is bit-identical to Cap (tested).
+type Throughput struct{}
+
+// Name implements Policy.
+func (Throughput) Name() string { return "throughput" }
+
+// Shares implements Policy.
+func (Throughput) Shares(m Machines) ([]float64, error) {
+	shares := make([]float64, len(m.InvCost))
+	maxThr := 0.0
+	for i, ic := range m.InvCost {
+		if !(ic > 0) || math.IsInf(ic, 0) {
+			return nil, fmt.Errorf("sched: throughput: machine %d has per-word cost %v, want positive finite", i, ic)
+		}
+		shares[i] = 1 / ic
+		if shares[i] > maxThr {
+			maxThr = shares[i]
+		}
+	}
+	for i := range shares {
+		shares[i] /= maxThr
+		if cs := m.CapShare[i]; shares[i] > cs {
+			shares[i] = cs
+		}
+	}
+	return shares, nil
+}
+
+// Speculation implements Policy: plain Throughput never speculates.
+func (Throughput) Speculation() int { return 0 }
+
+// Speculate is Throughput placement plus redundant execution: each round
+// the R slowest shards (the largest per-machine word-times, where static
+// placement cannot help — broadcasts, samples, transient slowdown windows)
+// are mirrored onto the fastest machines outside that slow set,
+// first-copy-wins. The simulator launches a copy only when the partner's
+// predicted finish beats the victim's, and charges every launched copy:
+// the mirrored words land in Stats.SpeculationWords and the partner's busy
+// time (DESIGN.md §8). R = 0 is exactly Throughput.
+type Speculate struct {
+	R int
+}
+
+// Name implements Policy.
+func (s Speculate) Name() string { return fmt.Sprintf("speculate:%d", s.R) }
+
+// Shares implements Policy: identical to Throughput.
+func (s Speculate) Shares(m Machines) ([]float64, error) { return Throughput{}.Shares(m) }
+
+// Speculation implements Policy.
+func (s Speculate) Speculation() int { return s.R }
+
+// Parse builds a policy from a CLI spec:
+//
+//	cap              capacity-proportional (the default)
+//	throughput       min-makespan split by min(cap, effective speed)
+//	speculate:R      throughput + redundant execution of the R slowest shards
+//
+// The empty spec and "cap" return (nil, nil): a nil policy is the default
+// Cap placement, mirroring how ParseProfile maps "uniform" to nil.
+func Parse(spec string) (Policy, error) {
+	switch spec {
+	case "", "cap":
+		return nil, nil
+	case "throughput":
+		return Throughput{}, nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "speculate:"); ok {
+		r, err := strconv.Atoi(rest)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("sched: placement %q: want speculate:R with integer R >= 0", spec)
+		}
+		return Speculate{R: r}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown placement %q (cap, throughput, speculate:R)", spec)
+}
