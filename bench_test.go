@@ -5,7 +5,9 @@ package hetmpc_test
 // figure-style sweeps; E17..E19 sweep heterogeneous machine profiles and
 // report the simulated makespan (DESIGN.md §6); E20..E22 sweep the
 // fault-injection and recovery subsystem (DESIGN.md §7); E23..E25 sweep
-// the placement-policy subsystem (DESIGN.md §8). Each benchmark
+// the placement-policy subsystem (DESIGN.md §8); E26..E28 sweep the trace
+// subsystem's phase timelines and critical-path attribution (DESIGN.md
+// §9). Each benchmark
 // runs its experiment through the heterogeneous-MPC simulator, validates
 // every output against the exact references, and reports measured model
 // metrics via b.ReportMetric.
@@ -86,6 +88,9 @@ func BenchmarkE22_StragglerCrash(b *testing.B)       { runExp(b, "e22") }
 func BenchmarkE23_PlacementPolicies(b *testing.B)    { runExp(b, "e23") }
 func BenchmarkE24_SpeculationDial(b *testing.B)      { runExp(b, "e24") }
 func BenchmarkE25_PlacementFaults(b *testing.B)      { runExp(b, "e25") }
+func BenchmarkE26_PhaseBreakdown(b *testing.B)       { runExp(b, "e26") }
+func BenchmarkE27_CriticalPath(b *testing.B)         { runExp(b, "e27") }
+func BenchmarkE28_TraceGuidedPlacement(b *testing.B) { runExp(b, "e28") }
 
 // --- direct algorithm micro-benchmarks with model-metric reporting ---
 

@@ -1,8 +1,8 @@
 // Command hetbench regenerates the paper's evaluation artifacts: the Table 1
 // comparison, the figure-style sweeps E2..E16, the heterogeneous-profile
-// sweeps E17..E19, the fault-injection sweeps E20..E22, and the
-// placement-policy sweeps E23..E25 (see DESIGN.md §2/§6/§7/§8 and
-// EXPERIMENTS.md).
+// sweeps E17..E19, the fault-injection sweeps E20..E22, the placement-policy
+// sweeps E23..E25, and the trace/critical-path sweeps E26..E28 (see
+// DESIGN.md §2/§6/§7/§8/§9 and EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -27,6 +27,11 @@
 //	                            # policy (cap, throughput, speculate:R);
 //	                            # speculative traffic lands in
 //	                            # speculation_words
+//	hetbench -exp table1 -trace # collect the per-round trace: text mode
+//	                            # appends the phase summary table, -json
+//	                            # artifacts gain the "trace" field (phase
+//	                            # makespan shares, bottleneck machines);
+//	                            # the measured stats are unchanged
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"os"
 	"strings"
 
+	"hetmpc/internal/cliflags"
 	"hetmpc/internal/exp"
 )
 
@@ -44,30 +50,29 @@ func main() {
 
 func run() int {
 	var (
-		expFlag       = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e25) or 'all'")
-		seedFlag      = flag.Uint64("seed", 7, "workload seed")
-		csvFlag       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonFlag      = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, makespan, wall ns, allocs) instead of text tables")
-		outFlag       = flag.String("out", ".", "output directory for -json artifacts")
-		listFlag      = flag.Bool("list", false, "list experiment ids and exit")
-		profileFlag   = flag.String("profile", "", "machine profile applied to every experiment cluster: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN, custom:I=SPEED,...")
-		faultsFlag    = flag.String("faults", "", "fault plan applied to every experiment cluster: +-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)")
-		placementFlag = flag.String("placement", "", "placement policy applied to every experiment cluster: cap, throughput, speculate:R")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e28) or 'all'")
+		seedFlag = flag.Uint64("seed", 7, "workload seed")
+		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonFlag = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, makespan, wall ns, allocs) instead of text tables")
+		outFlag  = flag.String("out", ".", "output directory for -json artifacts")
+		listFlag = flag.Bool("list", false, "list experiment ids and exit")
+		model    = cliflags.Register(flag.CommandLine, " applied to every experiment cluster")
 	)
 	flag.Parse()
 
-	if err := exp.SetProfile(*profileFlag); err != nil {
+	if err := exp.SetProfile(model.Profile); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		return 2
 	}
-	if err := exp.SetFaults(*faultsFlag); err != nil {
+	if err := exp.SetFaults(model.Faults); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		return 2
 	}
-	if err := exp.SetPlacement(*placementFlag); err != nil {
+	if err := exp.SetPlacement(model.Placement); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		return 2
 	}
+	exp.SetTrace(model.Trace)
 	all := exp.All()
 	if *listFlag {
 		for _, id := range exp.Order() {
@@ -112,7 +117,25 @@ func run() int {
 			if art.Model.SpeculationWords > 0 {
 				line += fmt.Sprintf(" spec-words=%d", art.Model.SpeculationWords)
 			}
+			if art.Trace != nil {
+				line += fmt.Sprintf(" trace-phases=%d", len(art.Trace.Phases))
+			}
 			fmt.Println(line)
+			continue
+		}
+		if model.Trace {
+			// Text mode under -trace goes through exp.Run so the phase
+			// summary of the traced clusters rides along with the table.
+			art, err := exp.Run(id, *seedFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
+				return 1
+			}
+			render(art.Table, *csvFlag)
+			if art.Trace != nil {
+				render(art.Trace.Table(fmt.Sprintf("%s — trace phase summary (%d clusters, %d rounds)",
+					id, art.Trace.Clusters, art.Trace.Rounds)), *csvFlag)
+			}
 			continue
 		}
 		table, err := all[id](*seedFlag)
@@ -120,11 +143,15 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
 			return 1
 		}
-		if *csvFlag {
-			table.RenderCSV(os.Stdout)
-		} else {
-			table.Render(os.Stdout)
-		}
+		render(table, *csvFlag)
 	}
 	return 0
+}
+
+func render(t *exp.Table, csv bool) {
+	if csv {
+		t.RenderCSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
 }

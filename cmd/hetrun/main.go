@@ -24,6 +24,10 @@
 //	                                  # speculate:R): work splits follow the
 //	                                  # policy, speculative copies land in
 //	                                  # spec-words on the model line
+//	hetrun -alg mst -trace            # per-round trace: appends the phase
+//	                                  # summary (makespan share + bottleneck
+//	                                  # machine per phase span); the model
+//	                                  # line is unchanged — tracing observes
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"os"
 
 	"hetmpc"
+	"hetmpc/internal/cliflags"
 	"hetmpc/internal/graph"
 )
 
@@ -41,19 +46,17 @@ func main() {
 
 func run() int {
 	var (
-		alg       = flag.String("alg", "mst", "algorithm: mst, spanner, apsp, matching, matching-filter, connectivity, approx-mst, mincut, approx-mincut, mis, coloring, 2v1, baseline-mst, baseline-cc, baseline-mis, baseline-coloring, baseline-matching")
-		n         = flag.Int("n", 512, "vertices (generated workloads)")
-		m         = flag.Int("m", 4096, "edges (generated workloads)")
-		gen       = flag.String("gen", "gnm", "generator: gnm, connected, cycles, cycles2, hubs, grid, star")
-		input     = flag.String("input", "", "read the graph from a file instead of generating")
-		seed      = flag.Uint64("seed", 1, "seed for the workload and the cluster")
-		gamma     = flag.Float64("gamma", 0.5, "small-machine exponent γ")
-		f         = flag.Float64("f", 0, "large-machine extra exponent f")
-		k         = flag.Int("k", 4, "spanner parameter k")
-		eps       = flag.Float64("eps", 0.25, "approximation parameter ε")
-		profile   = flag.String("profile", "", "machine profile: uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN, custom:I=SPEED,...")
-		faults    = flag.String("faults", "", "fault plan: +-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)")
-		placement = flag.String("placement", "", "placement policy: cap, throughput, speculate:R")
+		alg   = flag.String("alg", "mst", "algorithm: mst, spanner, apsp, matching, matching-filter, connectivity, approx-mst, mincut, approx-mincut, mis, coloring, 2v1, baseline-mst, baseline-cc, baseline-mis, baseline-coloring, baseline-matching")
+		n     = flag.Int("n", 512, "vertices (generated workloads)")
+		m     = flag.Int("m", 4096, "edges (generated workloads)")
+		gen   = flag.String("gen", "gnm", "generator: gnm, connected, cycles, cycles2, hubs, grid, star")
+		input = flag.String("input", "", "read the graph from a file instead of generating")
+		seed  = flag.Uint64("seed", 1, "seed for the workload and the cluster")
+		gamma = flag.Float64("gamma", 0.5, "small-machine exponent γ")
+		f     = flag.Float64("f", 0, "large-machine extra exponent f")
+		k     = flag.Int("k", 4, "spanner parameter k")
+		eps   = flag.Float64("eps", 0.25, "approximation parameter ε")
+		model = cliflags.Register(flag.CommandLine, "")
 	)
 	flag.Parse()
 
@@ -66,20 +69,23 @@ func run() int {
 	cfg := hetmpc.Config{
 		N: g.N, M: g.M(), Gamma: *gamma, F: *f, Seed: *seed, NoLarge: noLarge,
 	}
-	cfg.Profile, err = hetmpc.ParseProfile(*profile, cfg.DeriveK())
+	cfg.Profile, err = hetmpc.ParseProfile(model.Profile, cfg.DeriveK())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
 		return 2
 	}
-	cfg.Faults, err = hetmpc.ParseFaultPlan(*faults, cfg.DeriveK())
+	cfg.Faults, err = hetmpc.ParseFaultPlan(model.Faults, cfg.DeriveK())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
 		return 2
 	}
-	cfg.Placement, err = hetmpc.ParsePlacement(*placement)
+	cfg.Placement, err = hetmpc.ParsePlacement(model.Placement)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
 		return 2
+	}
+	if model.Trace {
+		cfg.Trace = hetmpc.NewTrace()
 	}
 	c, err := hetmpc.NewCluster(cfg)
 	if err != nil {
@@ -118,7 +124,29 @@ func run() int {
 		fmt.Printf(" spec-words=%d", st.SpeculationWords)
 	}
 	fmt.Println()
+	if tr := c.Trace(); tr != nil {
+		printTrace(tr, st)
+	}
 	return 0
+}
+
+// printTrace renders the phase-level critical-path summary of a -trace run:
+// one line per phase path with its makespan share and bottleneck machine.
+// The footer re-states the conservation contract the trace satisfies.
+func printTrace(tr *hetmpc.Trace, st hetmpc.ClusterStats) {
+	s := hetmpc.SummarizeTrace(tr.Rounds())
+	fmt.Printf("trace: %d records, %d exchange rounds, %d phases\n", tr.Len(), s.Rounds, len(s.Phases))
+	fmt.Printf("  %-44s %7s %10s %10s %6s  %s\n", "phase", "rounds", "words", "makespan", "share", "bottleneck")
+	for _, p := range s.Phases {
+		name := p.Phase
+		if name == "" {
+			name = "(untagged)"
+		}
+		fmt.Printf("  %-44s %7d %10d %10.4g %5.1f%%  %s (%.0f%% of phase busy)\n",
+			name, p.Rounds, p.Words, p.Makespan, 100*p.Share, hetmpc.TraceMachineName(p.Top), 100*p.TopShare)
+	}
+	fmt.Printf("  conservation: trace makespan %.6g == model %.6g, trace words %d == model %d\n",
+		s.Makespan, st.Makespan, s.Words, st.TotalWords)
 }
 
 func makeGraph(input, gen string, n, m int, seed uint64, alg string) (*hetmpc.Graph, error) {

@@ -74,7 +74,15 @@ import (
 	"hetmpc/internal/mpc"
 	"hetmpc/internal/sched"
 	"hetmpc/internal/sublinear"
+	"hetmpc/internal/trace"
 )
+
+// ErrNeedsLarge is the unified "requires the large machine" failure: every
+// large-requiring algorithm (MST, Spanner, Connectivity, …) wraps it with
+// its own name when run on a NoLarge cluster, so callers detect the
+// condition with errors.Is(err, hetmpc.ErrNeedsLarge) and fall back to a
+// Baseline* algorithm.
+var ErrNeedsLarge = mpc.ErrNeedsLarge
 
 // Re-exported model types.
 type (
@@ -115,6 +123,25 @@ type (
 	// recovery engine can replicate and restore it
 	// (Cluster.SetCheckpointer).
 	Checkpointer = fault.Checkpointer
+	// Trace is the per-round trace collector (Config.Trace): with one
+	// attached, the simulator records every makespan contribution — tagged
+	// with the phase-span path (Cluster.Span) — without perturbing the run.
+	// See NewTrace, SummarizeTrace and DESIGN.md §9.
+	Trace = trace.Collector
+	// TraceRound is one record of the trace timeline: an exchange round, a
+	// checkpoint barrier or a crash recovery, with its exact makespan
+	// contribution, words, argmax machine and per-machine detail.
+	TraceRound = trace.Round
+	// TraceSummary is the aggregated critical-path view of a timeline
+	// (SummarizeTrace): totals plus per-phase makespan shares and
+	// bottleneck machines.
+	TraceSummary = trace.Summary
+	// TracePhase is one phase row of a TraceSummary.
+	TracePhase = trace.PhaseStat
+	// Span is a phase-scoped measurement window (Cluster.Span): End returns
+	// the ClusterStats delta of the scope, and traced rounds inside it are
+	// tagged with the span path. Spans nest without double-counting.
+	Span = mpc.Span
 	// Graph is an edge-list graph over vertices 0..N-1.
 	Graph = graph.Graph
 	// Edge is an undirected edge with U < V.
@@ -188,6 +215,21 @@ func ParseProfile(spec string, k int) (*Profile, error) { return mpc.ParseProfil
 // "throughput", "speculate:R"). The empty spec and "cap" return nil — the
 // capacity-proportional default.
 func ParsePlacement(spec string) (PlacementPolicy, error) { return sched.Parse(spec) }
+
+// --- Per-round tracing and phase spans (DESIGN.md §9) ---
+
+// NewTrace returns an empty trace collector for Config.Trace. A traced
+// run's ClusterStats are bit-identical to the same run untraced; the
+// collector only observes.
+func NewTrace() *Trace { return trace.New() }
+
+// SummarizeTrace aggregates a recorded timeline (Trace.Rounds) into the
+// per-phase critical-path summary: makespan share and bottleneck machine
+// per phase. The phase rows partition the totals exactly.
+func SummarizeTrace(rounds []TraceRound) *TraceSummary { return trace.Summarize(rounds) }
+
+// TraceMachineName renders a trace machine id ("large", "small-3", "-").
+func TraceMachineName(id int) string { return trace.MachineName(id) }
 
 // --- Fault injection and recovery (DESIGN.md §7) ---
 

@@ -1,0 +1,42 @@
+// Package cliflags is the single source of the cross-cutting model flags
+// shared by cmd/hetbench and cmd/hetrun: -profile, -faults, -placement and
+// -trace. The two commands used to duplicate the spec-syntax help strings
+// and they drifted once already; both now register through Register, so the
+// option syntax cannot diverge again and a new cross-cutting flag lands in
+// both commands by construction.
+package cliflags
+
+import "flag"
+
+// Spec-syntax fragments, shared verbatim by every command's help text.
+const (
+	// ProfileSyntax is the mpc.ParseProfile spec grammar.
+	ProfileSyntax = "uniform, zipf:S[:FLOOR], bimodal:SLOWFRAC:FACTOR, straggler:N:SLOWDOWN, custom:I=SPEED,..."
+	// FaultsSyntax is the fault.ParsePlan spec grammar.
+	FaultsSyntax = "+-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)"
+	// PlacementSyntax is the sched.Parse spec grammar.
+	PlacementSyntax = "cap, throughput, speculate:R"
+	// TraceHelp describes the -trace toggle (DESIGN.md §9).
+	TraceHelp = "collect the per-round trace timeline (phase spans, per-round makespan contributions, bottleneck machines); never changes the measured stats"
+)
+
+// Model holds the parsed cross-cutting model flags.
+type Model struct {
+	Profile   string
+	Faults    string
+	Placement string
+	Trace     bool
+}
+
+// Register installs the shared model flags on fs. scope is appended to the
+// flag nouns to say what the spec applies to (hetbench: " applied to every
+// experiment cluster"; hetrun: ""), keeping each command's phrasing while
+// sharing the one syntax string.
+func Register(fs *flag.FlagSet, scope string) *Model {
+	m := &Model{}
+	fs.StringVar(&m.Profile, "profile", "", "machine profile"+scope+": "+ProfileSyntax)
+	fs.StringVar(&m.Faults, "faults", "", "fault plan"+scope+": "+FaultsSyntax)
+	fs.StringVar(&m.Placement, "placement", "", "placement policy"+scope+": "+PlacementSyntax)
+	fs.BoolVar(&m.Trace, "trace", false, TraceHelp)
+	return m
+}

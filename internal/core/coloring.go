@@ -32,15 +32,15 @@ type ColoringResult struct {
 // directly (also O(1) rounds). The list-coloring completion is greedy with
 // retry-on-failure (DESIGN.md substitution 4); retries are counted.
 func Coloring(c *mpc.Cluster, g *graph.Graph) (*ColoringResult, error) {
-	before := c.Stats()
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("core: Coloring requires the large machine")
+		return nil, errNeedsLarge("Coloring")
 	}
+	sp := c.Span("coloring")
 	n := g.N
 	res := &ColoringResult{}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	if len(g.Edges) == 0 {
 		res.Colors = make([]int, n)
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 	edges, err := prims.DistributeEdges(c, g)
@@ -86,7 +86,6 @@ func Coloring(c *mpc.Cluster, g *graph.Graph) (*ColoringResult, error) {
 		if res.Colors == nil {
 			return nil, fmt.Errorf("core: greedy (Δ+1)-coloring failed on the full graph")
 		}
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 
@@ -143,7 +142,6 @@ func Coloring(c *mpc.Cluster, g *graph.Graph) (*ColoringResult, error) {
 			}
 		}
 		res.Colors = colors
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 	return nil, fmt.Errorf("core: list coloring failed after %d retries", maxRetries)

@@ -32,12 +32,13 @@ type ConnectivityResult struct {
 // Shared randomness is a single broadcast seed, replacing [36]'s shared
 // random bits exactly as the paper describes.
 func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
-	before := c.Stats()
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("core: Connectivity requires the large machine")
+		return nil, errNeedsLarge("Connectivity")
 	}
+	sp := c.Span("connectivity")
 	n := g.N
 	res := &ConnectivityResult{}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	edges, err := prims.DistributeEdges(c, g)
 	if err != nil {
 		return nil, err
@@ -71,7 +72,10 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 	skWords := families[0].NewSketch(universe).Words()
 
 	// Small machines: partial sketches per (phase, vertex), merged by
-	// aggregation with the linear Merge combine.
+	// aggregation with the linear Merge combine. The whole block is the
+	// "sketch" phase of the trace timeline (its rounds are the aggregation
+	// shipping the summed sketches to the large machine).
+	ssp := c.Span("sketch")
 	items := make([][]prims.KV[*sketch.Sketch], kk)
 	if err := c.ForSmall(func(i int) error {
 		arenas := make([]*sketch.Arena, phases)
@@ -117,6 +121,7 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	ssp.End()
 
 	// Large machine: local Borůvka with fresh sketches per phase.
 	dsu := unionfind.New(n)
@@ -205,7 +210,6 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 	}
 	res.Labels = labels
 	res.Components = dsu.Count()
-	res.Stats = snapshot(c, before)
 	return res, nil
 }
 
@@ -224,11 +228,15 @@ type MSTApproxResult struct {
 // The input must be connected for the estimate to be meaningful (the
 // standard assumption of the reduction).
 func ApproxMSTWeight(c *mpc.Cluster, g *graph.Graph, eps float64) (*MSTApproxResult, error) {
-	before := c.Stats()
 	if eps <= 0 {
 		return nil, fmt.Errorf("core: eps must be positive")
 	}
+	if !c.HasLarge() {
+		return nil, errNeedsLarge("ApproxMSTWeight")
+	}
+	sp := c.Span("approx-mst")
 	res := &MSTApproxResult{}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	var maxW int64 = 1
 	for _, e := range g.Edges {
 		if e.W > maxW {
@@ -268,6 +276,5 @@ func ApproxMSTWeight(c *mpc.Cluster, g *graph.Graph, eps float64) (*MSTApproxRes
 		res.Thresholds++
 	}
 	res.Estimate = est
-	res.Stats = snapshot(c, before)
 	return res, nil
 }

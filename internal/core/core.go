@@ -19,6 +19,7 @@ package core
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 
 	"hetmpc/internal/graph"
@@ -99,12 +100,15 @@ type Stats struct {
 	TotalWords int64
 }
 
-// snapshot captures the cluster's metrics delta since before.
-func snapshot(c *mpc.Cluster, before mpc.Stats) Stats {
-	now := c.Stats()
-	return Stats{
-		Rounds:     now.Rounds - before.Rounds,
-		Messages:   now.Messages - before.Messages,
-		TotalWords: now.TotalWords - before.TotalWords,
-	}
+// statsOf converts a finished span's full model-stats delta (mpc.Span.End)
+// into the compact per-run view attached to algorithm results.
+func statsOf(d mpc.Stats) Stats {
+	return Stats{Rounds: d.Rounds, Messages: d.Messages, TotalWords: d.TotalWords}
+}
+
+// errNeedsLarge is the unified "requires the large machine" failure: every
+// large-requiring algorithm returns it wrapped with its name, so callers
+// detect the condition with errors.Is(err, mpc.ErrNeedsLarge).
+func errNeedsLarge(alg string) error {
+	return fmt.Errorf("core: %s: %w", alg, mpc.ErrNeedsLarge)
 }

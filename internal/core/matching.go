@@ -33,15 +33,16 @@ type MatchingResult struct {
 //	Phase 3: all edges with both endpoints still unmatched (≤ 2n w.h.p.,
 //	         Lemma 5.4) are shipped and the matching is completed.
 func MaximalMatching(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) {
-	before := c.Stats()
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("core: MaximalMatching requires the large machine (use sublinear.MaximalMatching for the baseline)")
+		// The sublinear baseline is sublinear.MaximalMatching.
+		return nil, errNeedsLarge("MaximalMatching")
 	}
+	sp := c.Span("matching")
 	res := &MatchingResult{}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	n := g.N
 	m := len(g.Edges)
 	if m == 0 {
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 	edges, err := prims.DistributeEdges(c, g)
@@ -221,7 +222,6 @@ func MaximalMatching(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) {
 
 	sortEdgesStable(matching)
 	res.Edges = matching
-	res.Stats = snapshot(c, before)
 	return res, nil
 }
 
@@ -231,14 +231,14 @@ func MaximalMatching(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) {
 // fits the large machine, matches the sample there greedily, and discards
 // edges covered by the matching; O(1/f) iterations suffice.
 func MatchingFiltering(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) {
-	before := c.Stats()
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("core: MatchingFiltering requires the large machine")
+		return nil, errNeedsLarge("MatchingFiltering")
 	}
+	sp := c.Span("matching-filter")
 	res := &MatchingResult{}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	n := g.N
 	if len(g.Edges) == 0 {
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 	live, err := prims.DistributeEdges(c, g)
@@ -328,7 +328,6 @@ func MatchingFiltering(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) 
 	matching = append(matching, add...)
 	sortEdgesStable(matching)
 	res.Edges = matching
-	res.Stats = snapshot(c, before)
 	return res, nil
 }
 

@@ -26,17 +26,17 @@ type MinCutResult struct {
 // solves it exactly and compares against the singleton cuts. The trial is
 // amplified O(log n) times (sequentially; DESIGN.md substitution 2).
 func MinCutUnweighted(c *mpc.Cluster, g *graph.Graph) (*MinCutResult, error) {
-	before := c.Stats()
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("core: MinCutUnweighted requires the large machine")
+		return nil, errNeedsLarge("MinCutUnweighted")
 	}
+	sp := c.Span("mincut")
 	n := g.N
 	res := &MinCutResult{Value: math.MaxInt64}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	if len(g.Edges) == 0 {
 		if n > 1 {
 			res.Value = 0 // disconnected (or single vertex: no cut)
 		}
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 	edges, err := prims.DistributeEdges(c, g)
@@ -66,7 +66,6 @@ func MinCutUnweighted(c *mpc.Cluster, g *graph.Graph) (*MinCutResult, error) {
 	if len(degAtLarge) < n {
 		// Isolated vertex: cut 0.
 		res.Value = 0
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 	for _, d := range degAtLarge {
@@ -87,7 +86,6 @@ func MinCutUnweighted(c *mpc.Cluster, g *graph.Graph) (*MinCutResult, error) {
 			res.Value = val
 		}
 	}
-	res.Stats = snapshot(c, before)
 	return res, nil
 }
 
@@ -290,20 +288,20 @@ func stoerWagnerMulti(n int, edges []graph.Edge) int64 {
 // and rescaled; the first guess whose skeleton cut is large enough to
 // concentrate is returned (see DESIGN.md substitution 3).
 func ApproxMinCut(c *mpc.Cluster, g *graph.Graph, eps float64) (*MinCutResult, error) {
-	before := c.Stats()
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("core: ApproxMinCut requires the large machine")
+		return nil, errNeedsLarge("ApproxMinCut")
 	}
 	if eps <= 0 || eps >= 1 {
 		return nil, fmt.Errorf("core: eps must be in (0,1)")
 	}
+	sp := c.Span("approx-mincut")
 	n := g.N
 	res := &MinCutResult{Value: math.MaxInt64}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	if len(g.Edges) == 0 {
 		if n > 1 {
 			res.Value = 0
 		}
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 	edges, err := prims.DistributeEdges(c, g)
@@ -331,7 +329,6 @@ func ApproxMinCut(c *mpc.Cluster, g *graph.Graph, eps float64) (*MinCutResult, e
 	}
 	if len(wdeg) < n {
 		res.Value = 0 // isolated vertex
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 	upper := int64(math.MaxInt64)
@@ -430,6 +427,5 @@ func ApproxMinCut(c *mpc.Cluster, g *graph.Graph, eps float64) (*MinCutResult, e
 		}
 		lambda /= 2
 	}
-	res.Stats = snapshot(c, before)
 	return res, nil
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"cmp"
-	"fmt"
 	"math"
 	"slices"
 
@@ -27,12 +26,13 @@ type MISResult struct {
 // greedy-by-priority MIS, and dominated vertices are announced back through
 // aggregation and dissemination.
 func MIS(c *mpc.Cluster, g *graph.Graph) (*MISResult, error) {
-	before := c.Stats()
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("core: MIS requires the large machine")
+		return nil, errNeedsLarge("MIS")
 	}
+	sp := c.Span("mis")
 	n := g.N
 	res := &MISResult{}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	edges, err := prims.DistributeEdges(c, g)
 	if err != nil {
 		return nil, err
@@ -251,7 +251,6 @@ func MIS(c *mpc.Cluster, g *graph.Graph) (*MISResult, error) {
 		}
 	}
 	res.Set = set
-	res.Stats = snapshot(c, before)
 	return res, nil
 }
 

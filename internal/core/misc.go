@@ -20,13 +20,16 @@ type TwoVsOneCycleResult struct {
 // paper's introduction observes: the input has only n edges, so a single
 // machine with Ω(n log n) memory can hold the entire graph.
 func TwoVsOneCycle(c *mpc.Cluster, g *graph.Graph) (*TwoVsOneCycleResult, error) {
-	before := c.Stats()
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("core: TwoVsOneCycle requires the large machine (that is the point)")
+		// That one machine can hold the whole input is the point.
+		return nil, errNeedsLarge("TwoVsOneCycle")
 	}
 	if len(g.Edges) != g.N {
 		return nil, fmt.Errorf("core: input is not a disjoint union of cycles (m=%d, n=%d)", len(g.Edges), g.N)
 	}
+	sp := c.Span("2v1")
+	res := &TwoVsOneCycleResult{}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	edges, err := prims.DistributeEdges(c, g)
 	if err != nil {
 		return nil, err
@@ -35,8 +38,8 @@ func TwoVsOneCycle(c *mpc.Cluster, g *graph.Graph) (*TwoVsOneCycleResult, error)
 	if err != nil {
 		return nil, err
 	}
-	_, cc := graph.ComponentsOf(g.N, all)
-	return &TwoVsOneCycleResult{Cycles: cc, Stats: snapshot(c, before)}, nil
+	_, res.Cycles = graph.ComponentsOf(g.N, all)
+	return res, nil
 }
 
 // APSPOracle answers approximate all-pairs-shortest-path queries from an
@@ -54,7 +57,12 @@ type APSPOracle struct {
 // of size Õ(n) is computed (Theorem 4.1 with k = log n) and kept on the
 // large machine; queries are answered locally from the spanner.
 func BuildAPSPOracle(c *mpc.Cluster, g *graph.Graph) (*APSPOracle, error) {
-	before := c.Stats()
+	if !c.HasLarge() {
+		return nil, errNeedsLarge("BuildAPSPOracle")
+	}
+	sp := c.Span("apsp")
+	o := &APSPOracle{}
+	defer func() { o.BuildStats = statsOf(sp.End()) }()
 	k := int(math.Ceil(math.Log2(float64(g.N) + 2)))
 	var (
 		res *SpannerResult
@@ -69,13 +77,11 @@ func BuildAPSPOracle(c *mpc.Cluster, g *graph.Graph) (*APSPOracle, error) {
 		return nil, err
 	}
 	h := graph.New(g.N, res.Edges, g.Weighted)
-	return &APSPOracle{
-		Spanner:    h,
-		Stretch:    res.Stretch,
-		BuildStats: snapshot(c, before),
-		adj:        h.Adj(),
-		cache:      make(map[int][]int64),
-	}, nil
+	o.Spanner = h
+	o.Stretch = res.Stretch
+	o.adj = h.Adj()
+	o.cache = make(map[int][]int64)
+	return o, nil
 }
 
 // Dist returns the oracle's distance estimate between u and v: at most

@@ -46,15 +46,15 @@ func MST(c *mpc.Cluster, g *graph.Graph) (*MSTResult, error) {
 
 // MSTWithOptions is MST with ablation knobs (see MSTOptions).
 func MSTWithOptions(c *mpc.Cluster, g *graph.Graph, opts MSTOptions) (*MSTResult, error) {
-	before := c.Stats()
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("core: MST requires the large machine")
+		return nil, errNeedsLarge("MST")
 	}
+	sp := c.Span("mst")
 	n := g.N
 	m := len(g.Edges)
 	res := &MSTResult{}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	if m == 0 {
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 
@@ -95,6 +95,9 @@ func MSTWithOptions(c *mpc.Cluster, g *graph.Graph, opts MSTOptions) (*MSTResult
 	}
 
 	for phase := 0; ; phase++ {
+		// One doubly-exponential Borůvka contraction: everything through
+		// the relabel dissemination is the "contract" phase of the trace.
+		csp := c.Span("contract")
 		// Build directed copies and arrange by (source, weight) — Claim 4.
 		directed := make([][]cEdge, c.K())
 		if err := c.ForSmall(func(i int) error {
@@ -113,9 +116,11 @@ func MSTWithOptions(c *mpc.Cluster, g *graph.Graph, opts MSTOptions) (*MSTResult
 		}
 		active := len(arr.Keys)
 		if active == 0 || (!opts.DisableSampling && active <= target) {
+			csp.End()
 			break
 		}
 		if phase >= maxPhases {
+			csp.End()
 			break // safety valve; the sampling step still finishes correctly
 		}
 		res.BoruvkaPhases++
@@ -174,9 +179,12 @@ func MSTWithOptions(c *mpc.Cluster, g *graph.Graph, opts MSTOptions) (*MSTResult
 		if dedupErr != nil {
 			return nil, dedupErr
 		}
+		csp.End()
 	}
 
 	// --- KKT sampling part ---
+	ksp := c.Span("sample")
+	defer ksp.End()
 	mRemaining := prims.CountItems(edges)
 	tries := 0
 	if mRemaining > 0 {
@@ -209,7 +217,6 @@ func MSTWithOptions(c *mpc.Cluster, g *graph.Graph, opts MSTOptions) (*MSTResult
 	for _, e := range mstEdges {
 		res.Weight += e.W
 	}
-	res.Stats = snapshot(c, before)
 	return res, nil
 }
 

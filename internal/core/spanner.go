@@ -31,17 +31,17 @@ type SpannerResult struct {
 // primitive invocations, so the round count is a constant independent of n,
 // k and Δ.
 func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
-	before := c.Stats()
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("core: Spanner requires the large machine")
+		return nil, errNeedsLarge("Spanner")
 	}
+	sp := c.Span("spanner")
 	if k < 1 {
 		k = 1
 	}
 	res := &SpannerResult{Stretch: 6*k - 1}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	n := g.N
 	if len(g.Edges) == 0 {
-		res.Stats = snapshot(c, before)
 		return res, nil
 	}
 	edges, err := prims.DistributeEdges(c, g)
@@ -671,7 +671,6 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 	spanner = append(spanner, remEdges...)
 
 	res.Edges = dedupeEdges(spanner)
-	res.Stats = snapshot(c, before)
 	return res, nil
 }
 
@@ -694,7 +693,12 @@ func dedupInts(xs []int) []int {
 // classes are processed sequentially (DESIGN.md substitution 2); the
 // per-class round count is the O(1) the paper asserts.
 func SpannerWeighted(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
-	before := c.Stats()
+	if !c.HasLarge() {
+		return nil, errNeedsLarge("SpannerWeighted")
+	}
+	sp := c.Span("spanner-weighted")
+	res := &SpannerResult{Stretch: 12*k - 1}
+	defer func() { res.Stats = statsOf(sp.End()) }()
 	var maxW int64 = 1
 	for _, e := range g.Edges {
 		if e.W > maxW {
@@ -721,10 +725,6 @@ func SpannerWeighted(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, err
 		}
 		all = append(all, r.Edges...)
 	}
-	res := &SpannerResult{
-		Edges:   dedupeEdges(all),
-		Stretch: 12*k - 1,
-	}
-	res.Stats = snapshot(c, before)
+	res.Edges = dedupeEdges(all)
 	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hetmpc/internal/mpc"
+	"hetmpc/internal/trace"
 )
 
 // ModelStats sums the in-model communication metrics of every cluster an
@@ -55,6 +56,39 @@ func (m *ModelStats) add(s mpc.Stats) {
 	m.SpeculationWords += s.SpeculationWords
 }
 
+// TraceStats is the per-phase critical-path summary of an experiment's
+// traced clusters (DESIGN.md §9): trace.Summarize over every traced
+// cluster's timeline, concatenated in build order. Conservation is part of
+// the schema — total_words equals the model total exactly, and makespan
+// sums each cluster's per-round contributions in order and then the
+// per-cluster subtotals in build order (the same grouping ModelStats.add
+// uses), so it is bit-identical to the model makespan whenever every
+// cluster of the run was traced (E26–E28, and any run under the -trace
+// flag). The CI jq smoke-check enforces both.
+type TraceStats struct {
+	Clusters int               `json:"clusters"` // clusters that carried a collector
+	Rounds   int               `json:"rounds"`
+	Words    int64             `json:"total_words"`
+	Makespan float64           `json:"makespan"`
+	Phases   []trace.PhaseStat `json:"phases"`
+}
+
+// Table renders the per-phase summary as a text table (hetbench -trace).
+func (ts *TraceStats) Table(title string) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"phase", "rounds", "words", "makespan", "share", "top machine", "top share"},
+	}
+	for _, p := range ts.Phases {
+		name := p.Phase
+		if name == "" {
+			name = "(untagged)"
+		}
+		t.AddRow(name, p.Rounds, p.Words, p.Makespan, p.Share, trace.MachineName(p.Top), p.TopShare)
+	}
+	return t
+}
+
 // Artifact is one machine-readable bench record: the experiment's table plus
 // the measured model metrics (rounds, words) and host metrics (wall-clock
 // ns, allocations). It is the schema of the BENCH_<exp>.json files that
@@ -81,7 +115,14 @@ type Artifact struct {
 	Allocs     uint64     `json:"allocs"`
 	AllocBytes uint64     `json:"alloc_bytes"`
 	Model      ModelStats `json:"model"`
-	Table      *Table     `json:"table"`
+	// Trace is the phase-timeline summary, present when at least one
+	// cluster of the run carried a trace collector — experiments that
+	// trace themselves (E26–E28) and any experiment run under SetTrace
+	// (hetbench -trace). Tracing observes without perturbing, so a traced
+	// artifact's model numbers are bit-identical to the untraced baseline
+	// and the artifact name does not change.
+	Trace *TraceStats `json:"trace,omitempty"`
+	Table *Table      `json:"table"`
 }
 
 // tracker collects the clusters built through newHet/newSub while a Run is
@@ -177,8 +218,35 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	if placementApplied {
 		a.Placement = placementSpec
 	}
+	var rounds []trace.Round
+	traced := 0
+	makespan := 0.0
 	for _, c := range clusters {
 		a.Model.add(c.Stats())
+		if tr := c.Trace(); tr != nil {
+			traced++
+			rounds = append(rounds, tr.Rounds()...)
+			// Sum each cluster's contributions separately, then add the
+			// subtotals in build order — the exact grouping ModelStats.add
+			// uses for Stats.Makespan. A single running total over the
+			// concatenated records would regroup the float additions and
+			// drift in the low bits on non-dyadic per-word costs.
+			sub := 0.0
+			for _, r := range tr.Rounds() {
+				sub += r.Makespan
+			}
+			makespan += sub
+		}
+	}
+	if traced > 0 {
+		s := trace.Summarize(rounds)
+		a.Trace = &TraceStats{
+			Clusters: traced,
+			Rounds:   s.Rounds,
+			Words:    s.Words,
+			Makespan: makespan,
+			Phases:   s.Phases,
+		}
 	}
 	return a, nil
 }

@@ -9,6 +9,7 @@ import (
 	"hetmpc/internal/mpc"
 	"hetmpc/internal/prims"
 	"hetmpc/internal/sched"
+	"hetmpc/internal/trace"
 )
 
 // The E23–E25 sweeps exercise the placement-policy subsystem (DESIGN.md
@@ -32,9 +33,10 @@ func beefyCoordinator(p *mpc.Profile) *mpc.Profile {
 
 // e23Workload places and sample-sorts m weighted edges under one profile ×
 // policy and returns the flattened sorted output with the cluster (E23 and
-// E24 both compare it row-for-row against the cap baseline's).
-func e23Workload(g *graph.Graph, seed uint64, profile func(k int) *mpc.Profile, pol sched.Policy) (*mpc.Cluster, []graph.Edge, error) {
-	cfg := mpc.Config{N: g.N, M: g.M(), Seed: seed, Placement: pol}
+// E24 both compare it row-for-row against the cap baseline's; E28 passes a
+// trace collector to decompose the same workload into phases).
+func e23Workload(g *graph.Graph, seed uint64, profile func(k int) *mpc.Profile, pol sched.Policy, tr *trace.Collector) (*mpc.Cluster, []graph.Edge, error) {
+	cfg := mpc.Config{N: g.N, M: g.M(), Seed: seed, Placement: pol, Trace: tr}
 	if profile != nil {
 		cfg.Profile = profile(cfg.DeriveK())
 	}
@@ -83,7 +85,7 @@ func E23PlacementPolicies(seed uint64) (*Table, error) {
 		var capOut []graph.Edge
 		var capStats mpc.Stats
 		for _, pol := range policies {
-			c, out, err := e23Workload(g, seed, prof.gen, pol)
+			c, out, err := e23Workload(g, seed, prof.gen, pol, nil)
 			if err != nil {
 				return nil, fmt.Errorf("e23: %s/%s: %w", prof.name, pol.Name(), err)
 			}
@@ -141,14 +143,14 @@ func E24SpeculationDial(seed uint64) (*Table, error) {
 		gen := func(k int) *mpc.Profile {
 			return beefyCoordinator(mpc.StragglerProfile(k, prof.stragglers, prof.slowdown))
 		}
-		capC, capOut, err := e23Workload(g, seed, gen, sched.Cap{})
+		capC, capOut, err := e23Workload(g, seed, gen, sched.Cap{}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("e24: %s/cap: %w", prof.name, err)
 		}
 		capStats := capC.Stats()
 		t.AddRow(prof.name, "cap", capStats.Makespan, 1.0, 0, capStats.TotalWords)
 		for r := 0; r <= 4; r++ {
-			c, out, err := e23Workload(g, seed, gen, sched.Speculate{R: r})
+			c, out, err := e23Workload(g, seed, gen, sched.Speculate{R: r}, nil)
 			if err != nil {
 				return nil, fmt.Errorf("e24: %s/R=%d: %w", prof.name, r, err)
 			}

@@ -9,6 +9,7 @@ import (
 	"hetmpc/internal/mpc"
 	"hetmpc/internal/sched"
 	"hetmpc/internal/sublinear"
+	"hetmpc/internal/trace"
 )
 
 // Sizes used by the Table 1 reproduction. Small enough to run in seconds,
@@ -57,6 +58,12 @@ func build(cfg mpc.Config) (*mpc.Cluster, error) {
 		cfg.Placement = p
 		placementApplied = p != nil // "cap" parses to nil: baseline, no tag
 	}
+	if traceOn && cfg.Trace == nil {
+		// Unlike the overrides above, tracing observes without perturbing:
+		// the artifact gains a trace summary but keeps its baseline name
+		// and bit-identical model numbers, so no tag is recorded.
+		cfg.Trace = trace.New()
+	}
 	c, err := mpc.New(cfg)
 	if err == nil {
 		trackCluster(c)
@@ -76,6 +83,16 @@ var faultSpec string
 // placementSpec is the cross-cutting placement-policy override; see
 // SetPlacement.
 var placementSpec string
+
+// traceOn is the cross-cutting trace toggle; see SetTrace.
+var traceOn bool
+
+// SetTrace attaches a fresh trace collector to every subsequently built
+// experiment cluster that does not pin its own (hetbench -trace): the
+// artifact gains the per-phase critical-path summary in its "trace" field.
+// Tracing never changes the measured model stats, so traced artifacts keep
+// the baseline name. E26–E28 trace their clusters unconditionally.
+func SetTrace(on bool) { traceOn = on }
 
 // specProbeK is the machine count the override setters pre-validate their
 // specs against: large enough that machine-addressed clauses (custom:…,

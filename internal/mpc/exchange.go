@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"hetmpc/internal/trace"
 )
 
 // The exchange engine routes one synchronous round as a batched plan instead
@@ -147,6 +149,20 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 	sc.plans = plans
 	if len(plans) == 0 {
 		c.stats.Makespan += c.latency // a silent round still pays the barrier
+		if c.tr != nil {
+			// The silent round advanced the clock and paid the barrier, so
+			// it gets a record like any other — conservation over the trace
+			// must reproduce the makespan exactly.
+			c.tr.Add(trace.Round{
+				Round:    c.stats.Rounds,
+				Phase:    c.tr.Phase(),
+				Kind:     trace.KindExchange,
+				Latency:  c.latency,
+				Makespan: c.latency,
+				Argmax:   trace.None,
+				Victim:   trace.None,
+			})
+		}
 		c.postRoundFaults()
 		return ins, nil, nil
 	}
@@ -279,8 +295,10 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 	// default path below is untouched, so cap and throughput runs are
 	// bit-identical to the pre-policy accounting.
 	var roundMax float64
+	argSlot := -1 // slot that set roundMax; -1 = none (all-zero words)
+	specBefore := c.stats.SpeculationWords
 	if c.specR > 0 {
-		roundMax = c.speculateRoundMax(sc.sendWords, sc.recvWords)
+		roundMax, argSlot = c.speculateRoundMax(sc.sendWords, sc.recvWords)
 	} else {
 		for slot := 0; slot <= c.k; slot++ {
 			w := sc.sendWords[slot] + sc.recvWords[slot]
@@ -290,11 +308,16 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 			t := float64(w) * c.slowCost(slot)
 			c.busy[slot] += t
 			if t > roundMax {
-				roundMax = t
+				roundMax, argSlot = t, slot
 			}
 		}
 	}
 	c.stats.Makespan += c.latency + roundMax
+	if c.tr != nil {
+		// Record before the send counters are zeroed below; the receive
+		// counters stay valid until the deferred reset.
+		c.recordExchange(totalMsgs, totalWords, roundMax, argSlot, c.stats.SpeculationWords-specBefore)
+	}
 	for s := range plans {
 		sc.sendWords[senderSlot(plans[s].from)] = 0
 	}

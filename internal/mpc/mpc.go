@@ -31,6 +31,7 @@ import (
 
 	"hetmpc/internal/fault"
 	"hetmpc/internal/sched"
+	"hetmpc/internal/trace"
 	"hetmpc/internal/xrand"
 )
 
@@ -48,6 +49,12 @@ var ErrRounds = errors.New("mpc: round budget exhausted")
 // the cluster (an index at or beyond K holding messages). Before this error
 // existed such traffic was silently dropped.
 var ErrUnknownSender = errors.New("mpc: sender outside the cluster")
+
+// ErrNeedsLarge is wrapped by every algorithm that requires the large
+// machine when run on a NoLarge cluster, always with the algorithm's name
+// ("core: MST: %w"), so callers can uniformly detect the condition with
+// errors.Is and dispatch to a sublinear baseline instead.
+var ErrNeedsLarge = errors.New("requires the large machine (cluster built with NoLarge)")
 
 // Msg is one point-to-point message. Words is the accounted size; Data is
 // the payload (typed per algorithm and asserted on receipt).
@@ -96,6 +103,14 @@ type Config struct {
 	// protocol; nil — or an inactive plan — is the reliable cluster,
 	// bit-identical to the paper's model. See fault.Plan and DESIGN.md §7.
 	Faults *fault.Plan
+
+	// Trace, when non-nil, collects the structured per-round timeline
+	// (DESIGN.md §9): one record per makespan contribution — exchange
+	// rounds, checkpoint barriers, crash recoveries — tagged with the
+	// phase-span path open at the time (Cluster.Span). Tracing observes
+	// and never perturbs: a traced run's Stats are bit-identical to the
+	// same run untraced, and nil is the zero-overhead path.
+	Trace *trace.Collector
 }
 
 // DeriveK returns the number of small machines New would build for cfg,
@@ -178,6 +193,10 @@ type Cluster struct {
 	// Fault-injection and recovery engine (nil unless cfg.Faults is an
 	// active plan). See recover.go and DESIGN.md §7.
 	ft *faultState
+
+	// Per-round trace collector (nil = untraced; see Config.Trace and
+	// internal/trace).
+	tr *trace.Collector
 }
 
 // New validates cfg, fills defaults and returns a cluster.
@@ -229,6 +248,7 @@ func New(cfg Config) (*Cluster, error) {
 		rngs:     make([]*rand.Rand, k),
 		largeRng: xrand.New(xrand.Split(cfg.Seed, 0)),
 		exch:     newExchScratch(k),
+		tr:       cfg.Trace,
 	}
 	for i := range c.rngs {
 		c.rngs[i] = xrand.New(xrand.Split(cfg.Seed, uint64(i)+1))
@@ -384,10 +404,17 @@ func (c *Cluster) Rounds() int { return c.stats.Rounds }
 // schedules (Crash.Round, Slowdown.From/To, the rate hash) are therefore
 // interpreted relative to the most recent reset: resetting mid-run replays
 // the plan from its round 1, exactly as if the cluster had been rebuilt.
+// The trace buffer (Config.Trace) is cleared with the round clock — its
+// records are keyed by round number, so post-reset records restart from
+// round 1 on an empty timeline; open phase spans survive, since they belong
+// to whatever algorithm is in flight.
 func (c *Cluster) ResetStats() {
 	c.stats = Stats{}
 	for i := range c.busy {
 		c.busy[i] = 0
+	}
+	if c.tr != nil {
+		c.tr.Reset()
 	}
 	if c.ft != nil {
 		for i := 0; i < c.k; i++ {

@@ -105,13 +105,18 @@ func (c *Cluster) applyPlacement(pol sched.Policy) error {
 // The large machine is the paper's coordinator and is never speculated on.
 // The scan runs serially in deterministic order, so speculation — like the
 // rest of the makespan accounting — is bit-identical under any GOMAXPROCS.
-func (c *Cluster) speculateRoundMax(send, recv []int) float64 {
+//
+// The second return value is the slot that set the round's clock (-1 when
+// no machine moved a word), feeding the trace's argmax attribution; the
+// float arithmetic is untouched by tracking it.
+func (c *Cluster) speculateRoundMax(send, recv []int) (float64, int) {
 	var roundMax float64
+	argSlot := -1
 	if w := send[0] + recv[0]; w > 0 {
 		t := float64(w) * c.slowCost(0)
 		c.busy[0] += t
 		if t > roundMax {
-			roundMax = t
+			roundMax, argSlot = t, 0
 		}
 	}
 	st := c.spec
@@ -186,8 +191,8 @@ func (c *Cluster) speculateRoundMax(send, recv []int) float64 {
 		}
 		c.busy[1+i] += t
 		if t > roundMax {
-			roundMax = t
+			roundMax, argSlot = t, 1+i
 		}
 	}
-	return roundMax
+	return roundMax, argSlot
 }

@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"hetmpc/internal/fault"
+	"hetmpc/internal/trace"
 )
 
 // The recovery engine (DESIGN.md §7) runs at the round barrier inside
@@ -171,6 +172,7 @@ func (c *Cluster) postRoundFaults() {
 func (c *Cluster) checkpointBarrier(r int) {
 	ft := c.ft
 	any := false
+	var barrierWords int64
 	for i := 0; i < c.k; i++ {
 		ck := ft.cks[i]
 		if ck == nil {
@@ -185,6 +187,7 @@ func (c *Cluster) checkpointBarrier(r int) {
 		ft.lastCkpt[i] = r
 		if words > 0 {
 			c.stats.ReplicationWords += int64(words)
+			barrierWords += int64(words)
 			ft.moved[i] += float64(words)
 			ft.moved[ft.buddy[i]] += float64(words)
 		}
@@ -194,6 +197,11 @@ func (c *Cluster) checkpointBarrier(r int) {
 	}
 	c.stats.Checkpoints++
 	roundMax := 0.0
+	argSlot := -1
+	var busyRec []float64
+	if c.tr != nil {
+		busyRec = make([]float64, c.k+1)
+	}
 	for i := 0; i < c.k; i++ {
 		w := ft.moved[i]
 		if w == 0 {
@@ -204,11 +212,29 @@ func (c *Cluster) checkpointBarrier(r int) {
 		// round, so replication is priced like the round's own traffic.
 		t := w * c.slowCost(1+i)
 		c.busy[1+i] += t
+		if busyRec != nil {
+			busyRec[1+i] = t
+		}
 		if t > roundMax {
-			roundMax = t
+			roundMax, argSlot = t, 1+i
 		}
 	}
 	c.stats.Makespan += c.latency + roundMax
+	if c.tr != nil {
+		c.tr.Add(trace.Round{
+			Round:            r,
+			Phase:            c.tr.Phase(),
+			Kind:             trace.KindCheckpoint,
+			Latency:          c.latency,
+			MaxTime:          roundMax,
+			Makespan:         c.latency + roundMax,
+			Argmax:           slotMachine(argSlot),
+			Victim:           trace.None,
+			ReplicationWords: barrierWords,
+			Checkpoints:      1,
+			Busy:             busyRec,
+		})
+	}
 }
 
 // recoverCrashes detects the crash set of the barrier ending round r and
@@ -274,12 +300,13 @@ func (c *Cluster) recoverCrashes(r int) {
 			ck.Restore(data)
 		}
 		t := 0.0
+		var ti, tb, replayT float64
 		if words > 0 {
 			c.stats.ReplicationWords += int64(words)
 			// slowCost prices the restore like round traffic, including
 			// any transient slowdown window covering this round.
-			ti := float64(words) * c.slowCost(1+i)
-			tb := float64(words) * c.slowCost(1+buddy)
+			ti = float64(words) * c.slowCost(1+i)
+			tb = float64(words) * c.slowCost(1+buddy)
 			c.busy[1+i] += ti
 			c.busy[1+buddy] += tb
 			t = math.Max(ti, tb)
@@ -289,13 +316,39 @@ func (c *Cluster) recoverCrashes(r int) {
 		// busy time, so replaying a slow or heavily loaded machine costs
 		// proportionally more than replaying an idle one.
 		if replayWork > 0 && r > 0 {
-			replayT := float64(replayWork) * c.busy[1+i] / float64(r)
+			replayT = float64(replayWork) * c.busy[1+i] / float64(r)
 			c.busy[1+i] += replayT
 			t += replayT
 		}
 		c.stats.RecoveryRounds += rec
 		c.stats.Makespan += float64(rec)*c.latency + t
 		ft.downUntil[i] = r + ft.restart[i]
+		if c.tr != nil {
+			// One record per victim: each victim's recovery is a distinct
+			// makespan contribution, so conservation over the trace stays
+			// exact even when several machines die at one barrier.
+			busyRec := make([]float64, c.k+1)
+			busyRec[1+i] = ti + replayT
+			busyRec[1+buddy] += tb
+			arg := i
+			if tb > ti+replayT {
+				arg = buddy
+			}
+			c.tr.Add(trace.Round{
+				Round:            r,
+				Phase:            c.tr.Phase(),
+				Kind:             trace.KindRecovery,
+				Latency:          c.latency,
+				MaxTime:          t,
+				Makespan:         float64(rec)*c.latency + t,
+				Argmax:           arg,
+				Victim:           i,
+				Crashes:          1,
+				RecoveryRounds:   rec,
+				ReplicationWords: int64(words),
+				Busy:             busyRec,
+			})
+		}
 	}
 	for i := 0; i < c.k; i++ {
 		ft.crashed[i] = false

@@ -38,6 +38,7 @@ func AggregateByKey[V any](
 	combine func(a, b V) V,
 	gatherLarge bool,
 ) (roots []map[int64]V, atLarge map[int64]V, err error) {
+	defer c.Span("aggregate").End()
 	k := c.K()
 	if len(items) < k {
 		ni := make([][]KV[V], k)

@@ -42,8 +42,9 @@ func Arrange[T any](
 	itemWords int,
 ) (*Arranged[T], error) {
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("prims: Arrange requires a large machine")
+		return nil, fmt.Errorf("prims: Arrange: %w", mpc.ErrNeedsLarge)
 	}
+	defer c.Span("arrange").End()
 	key := func(it T) int64 { return sortKey(it).A }
 	k := c.K()
 	sorted, err := Sort(c, data, itemWords, sortKey)

@@ -33,6 +33,7 @@ var ErrZeroCapacity = errors.New("prims: zero total capacity")
 // machines' recoverable state (RegisterState) when fault injection is
 // active.
 func DistributeEdges(c *mpc.Cluster, g *graph.Graph) ([][]graph.Edge, error) {
+	defer c.Span("distribute").End()
 	k := c.K()
 	out := make([][]graph.Edge, k)
 	if c.UniformPlacement() {

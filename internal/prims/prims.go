@@ -241,6 +241,7 @@ func sendSpanInstructions(c *mpc.Cluster, spans []span) ([][]spanInstr, error) {
 // and a capacity-bounded B-ary tree otherwise. Returns the per-machine
 // copies.
 func BroadcastValue[V any](c *mpc.Cluster, val V, words int) ([]V, error) {
+	defer c.Span("broadcast").End()
 	k := c.K()
 	out := make([]V, k)
 	direct := k*words <= coordCap(c)/2
@@ -311,8 +312,9 @@ func BroadcastValue[V any](c *mpc.Cluster, val V, words int) ([]V, error) {
 // large machine bounds the legal volume; violations surface as ErrCapacity.
 func GatherToLarge[T any](c *mpc.Cluster, data [][]T, itemWords int) ([]T, error) {
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("prims: GatherToLarge on a cluster without a large machine")
+		return nil, fmt.Errorf("prims: GatherToLarge: %w", mpc.ErrNeedsLarge)
 	}
+	defer c.Span("gather").End()
 	type chunk struct{ Items []T }
 	outs := make([][]mpc.Msg, c.K())
 	total := 0
@@ -344,8 +346,9 @@ func GatherToLarge[T any](c *mpc.Cluster, data [][]T, itemWords int) ([]T, error
 // SumToLarge adds one int64 per machine at the large machine (one round).
 func SumToLarge(c *mpc.Cluster, vals []int64) (int64, error) {
 	if !c.HasLarge() {
-		return 0, fmt.Errorf("prims: SumToLarge on a cluster without a large machine")
+		return 0, fmt.Errorf("prims: SumToLarge: %w", mpc.ErrNeedsLarge)
 	}
+	defer c.Span("sum").End()
 	outs := make([][]mpc.Msg, c.K())
 	for i := 0; i < c.K(); i++ {
 		var v int64
@@ -373,6 +376,7 @@ func SumToLarge(c *mpc.Cluster, vals []int64) (int64, error) {
 // total back to every machine, so all machines (and the caller) learn it.
 // Works with or without a large machine. Two-plus rounds.
 func SumAll(c *mpc.Cluster, vals []int64) (int64, error) {
+	defer c.Span("sum").End()
 	outs := make([][]mpc.Msg, c.K())
 	for i := 0; i < c.K(); i++ {
 		var v int64
@@ -407,8 +411,9 @@ func SumAll(c *mpc.Cluster, vals []int64) (int64, error) {
 // (one round). msgs[i] is delivered to machine i.
 func ScatterFromLarge[T any](c *mpc.Cluster, items [][]T, itemWords int) ([][]T, error) {
 	if !c.HasLarge() {
-		return nil, fmt.Errorf("prims: ScatterFromLarge on a cluster without a large machine")
+		return nil, fmt.Errorf("prims: ScatterFromLarge: %w", mpc.ErrNeedsLarge)
 	}
+	defer c.Span("scatter").End()
 	type chunk struct{ Items []T }
 	out := make([]mpc.Msg, 0, len(items))
 	for i := range items {
@@ -438,6 +443,7 @@ func ScatterFromLarge[T any](c *mpc.Cluster, items [][]T, itemWords int) ([][]T,
 // broadcasts it (the paper's "one machine generates O(polylog n) random bits
 // and disseminates them", App. C.1). Returns the seed.
 func BroadcastSeed(c *mpc.Cluster) (uint64, error) {
+	defer c.Span("seed").End()
 	var seed uint64
 	if c.HasLarge() {
 		seed = c.LargeRand().Uint64()

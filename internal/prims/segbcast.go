@@ -28,6 +28,7 @@ func SegmentedBroadcast[V any](
 	largeValues []KV[V],
 	vwords int,
 ) ([]map[int64]V, error) {
+	defer c.Span("broadcast").End()
 	k := c.K()
 	type item struct {
 		Key  int64

@@ -54,6 +54,7 @@ const sortKeyWords = 3
 //
 // itemWords is the accounted size of one item.
 func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey) ([][]T, error) {
+	defer c.Span("sort").End()
 	k := c.K()
 	if len(data) < k {
 		nd := make([][]T, k)

@@ -49,9 +49,10 @@ func lessMinEdge(a, b minEdgeVal) bool {
 // seed); labels update by dissemination. Every contraction edge is a true
 // minimum outgoing edge, so the output is exactly the MSF.
 func MST(c *mpc.Cluster, g *graph.Graph) (*MSTResult, error) {
-	before := c.Stats()
+	sp := c.Span("baseline-mst")
 	n := g.N
 	res := &MSTResult{}
+	defer func() { res.Stats = sp.End() }()
 	kk := c.K()
 	edges := make([][]bEdge, kk)
 	dist, err := prims.DistributeEdges(c, g)
@@ -190,7 +191,6 @@ func MST(c *mpc.Cluster, g *graph.Graph) (*MSTResult, error) {
 	for _, e := range all {
 		res.Weight += e.W
 	}
-	res.Stats = statsDelta(c, before)
 	return res, nil
 }
 

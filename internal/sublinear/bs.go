@@ -27,12 +27,13 @@ type SpannerResult struct {
 // per-vertex cluster assignments are maintained consistently on every
 // machine holding the vertex via aggregation + dissemination.
 func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
-	before := c.Stats()
+	sp := c.Span("baseline-spanner")
 	if k < 1 {
 		k = 1
 	}
 	n := g.N
 	res := &SpannerResult{Levels: k}
+	defer func() { res.Stats = sp.End() }()
 	edges, err := prims.DistributeEdges(c, g)
 	if err != nil {
 		return nil, err
@@ -248,6 +249,5 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 	}
 	slices.SortFunc(out, graph.CompareEndpoints)
 	res.Edges = out
-	res.Stats = statsDelta(c, before)
 	return res, nil
 }

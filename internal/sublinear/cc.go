@@ -29,7 +29,7 @@ type CCResult struct {
 // component adopts the smallest head-labeled neighbor label. Coins come from
 // a broadcast shared seed, so they are locally computable everywhere.
 func Connectivity(c *mpc.Cluster, g *graph.Graph) (*CCResult, error) {
-	before := c.Stats()
+	sp := c.Span("baseline-cc")
 	n := g.N
 	edges, err := prims.DistributeEdges(c, g)
 	if err != nil {
@@ -37,6 +37,7 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*CCResult, error) {
 	}
 	kk := c.K()
 	res := &CCResult{}
+	defer func() { res.Stats = sp.End() }()
 
 	seed, err := prims.BroadcastSeed(c)
 	if err != nil {
@@ -171,15 +172,5 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*CCResult, error) {
 	}
 	res.Labels = global
 	res.Components = len(distinct)
-	res.Stats = statsDelta(c, before)
 	return res, nil
-}
-
-func statsDelta(c *mpc.Cluster, before mpc.Stats) mpc.Stats {
-	now := c.Stats()
-	return mpc.Stats{
-		Rounds:     now.Rounds - before.Rounds,
-		Messages:   now.Messages - before.Messages,
-		TotalWords: now.TotalWords - before.TotalWords,
-	}
 }

@@ -27,9 +27,10 @@ type ColoringResult struct {
 // Each round every uncolored vertex tries a shared-seed random color from
 // [0, Δ]; it keeps the color if no neighbor holds or tries the same one.
 func Coloring(c *mpc.Cluster, g *graph.Graph) (*ColoringResult, error) {
-	before := c.Stats()
+	sp := c.Span("baseline-coloring")
 	n := g.N
 	res := &ColoringResult{}
+	defer func() { res.Stats = sp.End() }()
 	edges, err := prims.DistributeEdges(c, g)
 	if err != nil {
 		return nil, err
@@ -185,7 +186,6 @@ func Coloring(c *mpc.Cluster, g *graph.Graph) (*ColoringResult, error) {
 		}
 	}
 	res.Colors = out
-	res.Stats = statsDelta(c, before)
 	return res, nil
 }
 

@@ -26,9 +26,10 @@ type MISResult struct {
 // Each round every live vertex draws a shared-seed priority; strict local
 // minima join the MIS; MIS vertices and their neighbors die.
 func MIS(c *mpc.Cluster, g *graph.Graph) (*MISResult, error) {
-	before := c.Stats()
+	sp := c.Span("baseline-mis")
 	n := g.N
 	res := &MISResult{}
+	defer func() { res.Stats = sp.End() }()
 	edges, err := prims.DistributeEdges(c, g)
 	if err != nil {
 		return nil, err
@@ -190,6 +191,5 @@ func MIS(c *mpc.Cluster, g *graph.Graph) (*MISResult, error) {
 	}
 	sort.Ints(out)
 	res.Set = out
-	res.Stats = statsDelta(c, before)
 	return res, nil
 }

@@ -60,7 +60,7 @@ func lessRank(a, b rankVal) bool {
 // Works on clusters with or without a large machine (the baseline regime
 // uses machine 0 as coordinator).
 func PeelMatching(c *mpc.Cluster, edges [][]graph.Edge, stopRemaining int64) (*PeelResult, error) {
-	before := c.Stats()
+	sp := c.Span("peel")
 	k := c.K()
 	live := make([][]graph.Edge, k)
 	for i := 0; i < k && i < len(edges); i++ {
@@ -68,6 +68,7 @@ func PeelMatching(c *mpc.Cluster, edges [][]graph.Edge, stopRemaining int64) (*P
 	}
 	matched := make([][]graph.Edge, k)
 	res := &PeelResult{}
+	defer func() { res.Stats = sp.End() }()
 
 	total := int64(0)
 	for i := range live {
@@ -167,7 +168,6 @@ func PeelMatching(c *mpc.Cluster, edges [][]graph.Edge, stopRemaining int64) (*P
 	}
 	res.Matched = matched
 	res.Live = live
-	res.Stats = statsDelta(c, before)
 	return res, nil
 }
 

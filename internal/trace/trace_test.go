@@ -1,0 +1,92 @@
+package trace
+
+import "testing"
+
+// TestCollectorStack pins the span-stack semantics: "/"-joined paths,
+// depth-based truncation (the leak-cleanup contract of mpc.Span.End), and
+// Reset dropping records while keeping open spans.
+func TestCollectorStack(t *testing.T) {
+	tr := New()
+	if tr.Phase() != "" || tr.Depth() != 0 {
+		t.Fatalf("fresh collector: phase %q depth %d", tr.Phase(), tr.Depth())
+	}
+	tr.Push("a")
+	tr.Push("b")
+	tr.Push("c")
+	if tr.Phase() != "a/b/c" {
+		t.Fatalf("phase %q, want a/b/c", tr.Phase())
+	}
+	tr.Truncate(1) // close c and b in one step, as a leaked-span cleanup would
+	if tr.Phase() != "a" || tr.Depth() != 1 {
+		t.Fatalf("after truncate: phase %q depth %d", tr.Phase(), tr.Depth())
+	}
+	tr.Truncate(5) // deeper than the stack: no-op
+	if tr.Phase() != "a" {
+		t.Fatalf("truncate past depth changed the stack to %q", tr.Phase())
+	}
+	tr.Add(Round{Phase: tr.Phase(), Kind: KindExchange, Makespan: 1})
+	tr.Reset()
+	if tr.Len() != 0 || tr.Phase() != "a" {
+		t.Fatalf("Reset: len %d phase %q, want empty buffer with the span kept", tr.Len(), tr.Phase())
+	}
+	tr.Truncate(-1)
+	if tr.Depth() != 0 {
+		t.Fatalf("negative truncate left depth %d", tr.Depth())
+	}
+}
+
+// TestSummarize pins the aggregation: phases in first-appearance order,
+// shares partitioning the totals, exchange-vs-barrier counting, and the
+// per-phase bottleneck machine from the summed busy vectors (argmax/
+// max-time fallback when a record carries no vector).
+func TestSummarize(t *testing.T) {
+	rounds := []Round{
+		{Phase: "a", Kind: KindExchange, Words: 10, Makespan: 4, Argmax: Large,
+			Busy: []float64{3, 1, 0}},
+		{Phase: "b", Kind: KindExchange, Words: 20, Makespan: 6, Argmax: 1,
+			Busy: []float64{0, 2, 5}},
+		{Phase: "a", Kind: KindCheckpoint, Words: 0, Makespan: 2, Argmax: 0,
+			Busy: []float64{0, 4, 0}},
+		// No busy vector: falls back to (Argmax, MaxTime).
+		{Phase: "c", Kind: KindExchange, Words: 5, Makespan: 3, MaxTime: 2, Argmax: 1},
+	}
+	s := Summarize(rounds)
+	if s.Rounds != 3 || s.Words != 35 || s.Makespan != 15 {
+		t.Fatalf("totals: %+v", s)
+	}
+	if len(s.Phases) != 3 || s.Phases[0].Phase != "a" || s.Phases[1].Phase != "b" || s.Phases[2].Phase != "c" {
+		t.Fatalf("phase order: %+v", s.Phases)
+	}
+	a := s.Phases[0]
+	if a.Rounds != 1 || a.Barriers != 1 || a.Makespan != 6 || a.Share != 6.0/15 {
+		t.Fatalf("phase a: %+v", a)
+	}
+	// Phase a busy: large 3, small-0 1+4=5 -> top is small machine 0.
+	if a.Top != 0 || a.TopTime != 5 || a.TopShare != 5.0/8 {
+		t.Fatalf("phase a top: %+v", a)
+	}
+	b := s.Phases[1]
+	if b.Top != 1 || b.TopTime != 5 {
+		t.Fatalf("phase b top: %+v", b)
+	}
+	cph := s.Phases[2]
+	if cph.Top != 1 || cph.TopTime != 2 || cph.TopShare != 1 {
+		t.Fatalf("phase c fallback top: %+v", cph)
+	}
+	var shares float64
+	for _, p := range s.Phases {
+		shares += p.Share
+	}
+	if shares != 1 {
+		t.Fatalf("phase shares sum to %v, want 1", shares)
+	}
+}
+
+// TestMachineName covers the id rendering conventions.
+func TestMachineName(t *testing.T) {
+	for id, want := range map[int]string{Large: "large", None: "-", 0: "small-0", 7: "small-7"} {
+		if got := MachineName(id); got != want {
+			t.Fatalf("MachineName(%d) = %q, want %q", id, got, want)
+		}
+	}
+}
