@@ -7,7 +7,8 @@ package hetmpc_test
 // fault-injection and recovery subsystem (DESIGN.md §7); E23..E25 sweep
 // the placement-policy subsystem (DESIGN.md §8); E26..E28 sweep the trace
 // subsystem's phase timelines and critical-path attribution (DESIGN.md
-// §9). Each benchmark
+// §9); E29..E31 sweep adaptive placement — online speed re-estimation
+// with round-boundary re-splitting (DESIGN.md §10). Each benchmark
 // runs its experiment through the heterogeneous-MPC simulator, validates
 // every output against the exact references, and reports measured model
 // metrics via b.ReportMetric.
@@ -91,6 +92,10 @@ func BenchmarkE25_PlacementFaults(b *testing.B)      { runExp(b, "e25") }
 func BenchmarkE26_PhaseBreakdown(b *testing.B)       { runExp(b, "e26") }
 func BenchmarkE27_CriticalPath(b *testing.B)         { runExp(b, "e27") }
 func BenchmarkE28_TraceGuidedPlacement(b *testing.B) { runExp(b, "e28") }
+
+func BenchmarkE29_AdaptivePolicyGrid(b *testing.B)        { runExp(b, "e29") }
+func BenchmarkE30_MisreportedProfile(b *testing.B)        { runExp(b, "e30") }
+func BenchmarkE31_AdaptiveTransientSlowdown(b *testing.B) { runExp(b, "e31") }
 
 // --- direct algorithm micro-benchmarks with model-metric reporting ---
 

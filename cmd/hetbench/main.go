@@ -1,8 +1,9 @@
 // Command hetbench regenerates the paper's evaluation artifacts: the Table 1
 // comparison, the figure-style sweeps E2..E16, the heterogeneous-profile
 // sweeps E17..E19, the fault-injection sweeps E20..E22, the placement-policy
-// sweeps E23..E25, and the trace/critical-path sweeps E26..E28 (see
-// DESIGN.md §2/§6/§7/§8/§9 and EXPERIMENTS.md).
+// sweeps E23..E25, the trace/critical-path sweeps E26..E28, and the
+// adaptive-placement sweeps E29..E31 (see DESIGN.md §2/§6/§7/§8/§9/§10 and
+// EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -24,9 +25,11 @@
 //	                            # recovery_rounds / replication_words
 //	hetbench -exp e18 -placement throughput
 //	                            # rebuild the clusters under a placement
-//	                            # policy (cap, throughput, speculate:R);
-//	                            # speculative traffic lands in
-//	                            # speculation_words
+//	                            # policy (cap, throughput, speculate:R,
+//	                            # adaptive[:ALPHA]); speculative traffic
+//	                            # lands in speculation_words; adaptive
+//	                            # re-estimates speeds online and re-splits
+//	                            # at round boundaries
 //	hetbench -exp table1 -trace # collect the per-round trace: text mode
 //	                            # appends the phase summary table, -json
 //	                            # artifacts gain the "trace" field (phase
@@ -50,7 +53,7 @@ func main() {
 
 func run() int {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e28) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e31) or 'all'")
 		seedFlag = flag.Uint64("seed", 7, "workload seed")
 		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonFlag = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, makespan, wall ns, allocs) instead of text tables")

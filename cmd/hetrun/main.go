@@ -21,9 +21,11 @@
 //	                                  # still validated exact
 //	hetrun -alg mst -profile straggler:2:8 -placement speculate:2
 //	                                  # placement policy (cap, throughput,
-//	                                  # speculate:R): work splits follow the
-//	                                  # policy, speculative copies land in
-//	                                  # spec-words on the model line
+//	                                  # speculate:R, adaptive[:ALPHA]): work
+//	                                  # splits follow the policy, speculative
+//	                                  # copies land in spec-words on the
+//	                                  # model line; adaptive re-splits at
+//	                                  # round boundaries from measured speeds
 //	hetrun -alg mst -trace            # per-round trace: appends the phase
 //	                                  # summary (makespan share + bottleneck
 //	                                  # machine per phase span); the model

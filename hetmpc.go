@@ -29,10 +29,14 @@
 // How work is split across those machines is a pluggable placement policy
 // (Config.Placement; parser ParsePlacement, DESIGN.md §8): the default
 // capacity-proportional CapPlacement, the min-makespan
-// ThroughputPlacement (share ∝ min(capacity, effective speed)), and
+// ThroughputPlacement (share ∝ min(capacity, effective speed)),
 // SpeculatePlacement, which adds first-copy-wins redundant execution of
 // the slowest per-round shards on idle fast machines — speculative copies
-// are charged honestly in ClusterStats.SpeculationWords. Policies move
+// are charged honestly in ClusterStats.SpeculationWords — and
+// AdaptivePlacement, which re-estimates every machine's effective speed
+// online (EWMA over the rounds it actually runs) and recomputes the
+// throughput shares at round boundaries, so placement stays right even
+// when the declared profile is wrong (DESIGN.md §10). Policies move
 // data, never correctness: every algorithm validates its output under
 // every policy.
 //
@@ -111,6 +115,14 @@ type (
 	// of the R slowest per-round shards on idle fast machines,
 	// first-copy-wins, charged in ClusterStats.SpeculationWords.
 	SpeculatePlacement = sched.Speculate
+	// AdaptivePlacement is ThroughputPlacement recomputed online: an EWMA
+	// estimator (gain Alpha) re-estimates every machine's effective
+	// per-word cost from the rounds it actually runs, and the recomputed
+	// shares switch in at round boundaries — so placement converges to the
+	// truth even when the declared Profile is wrong. Alpha = 0 (and any
+	// truthful profile) is bit-identical to ThroughputPlacement; the bare
+	// "adaptive" spec uses the default gain 0.5. See DESIGN.md §10.
+	AdaptivePlacement = sched.Adaptive
 	// FaultPlan is a deterministic fault-injection schedule plus the
 	// checkpoint cadence of the recovery protocol (Config.Faults); nil is
 	// the reliable cluster. See fault.Plan.
@@ -138,6 +150,22 @@ type (
 	TraceSummary = trace.Summary
 	// TracePhase is one phase row of a TraceSummary.
 	TracePhase = trace.PhaseStat
+)
+
+// Trace machine-id and record-kind constants, re-exported so TraceRound
+// consumers can interpret Argmax/Victim and Kind without importing the
+// internal package: TraceLarge is the large machine, TraceNone marks "no
+// machine" (a silent round), and the kinds tag exchange rounds, checkpoint
+// barriers and crash recoveries.
+const (
+	TraceLarge          = trace.Large
+	TraceNone           = trace.None
+	TraceKindExchange   = trace.KindExchange
+	TraceKindCheckpoint = trace.KindCheckpoint
+	TraceKindRecovery   = trace.KindRecovery
+)
+
+type (
 	// Span is a phase-scoped measurement window (Cluster.Span): End returns
 	// the ClusterStats delta of the scope, and traced rounds inside it are
 	// tagged with the span path. Spans nest without double-counting.
@@ -212,8 +240,8 @@ func ParseProfile(spec string, k int) (*Profile, error) { return mpc.ParseProfil
 // --- Placement policies (DESIGN.md §8) ---
 
 // ParsePlacement builds a placement policy from a CLI spec ("cap",
-// "throughput", "speculate:R"). The empty spec and "cap" return nil — the
-// capacity-proportional default.
+// "throughput", "speculate:R", "adaptive[:ALPHA]"). The empty spec and
+// "cap" return nil — the capacity-proportional default.
 func ParsePlacement(spec string) (PlacementPolicy, error) { return sched.Parse(spec) }
 
 // --- Per-round tracing and phase spans (DESIGN.md §9) ---

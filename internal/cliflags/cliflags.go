@@ -15,7 +15,7 @@ const (
 	// FaultsSyntax is the fault.ParsePlan spec grammar.
 	FaultsSyntax = "+-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)"
 	// PlacementSyntax is the sched.Parse spec grammar.
-	PlacementSyntax = "cap, throughput, speculate:R"
+	PlacementSyntax = "cap, throughput, speculate:R, adaptive[:ALPHA]"
 	// TraceHelp describes the -trace toggle (DESIGN.md §9).
 	TraceHelp = "collect the per-round trace timeline (phase spans, per-round makespan contributions, bottleneck machines); never changes the measured stats"
 )

@@ -1,0 +1,56 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePlan fuzzes the fault-plan spec grammar (DESIGN.md §7):
+// ParsePlan must never panic, every accepted plan must already validate
+// against the cluster it was parsed for, and the stamped Name (the spec
+// itself — it names the plan in tables and artifacts) must round-trip to
+// an identical plan.
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"", "none",
+		"ckpt:8", "ckpt:0", "ckpt:-1", "ckpt:8+rate:0.002",
+		"crash:5:1", "crash:5:1:3", "crash:1e300:0", "crash:5:9",
+		"rate:0.01", "rate:0.01:12345", "rate:2", "rate:NaN", "rate:0.5:-1",
+		"slow:0:5:40:16", "slow:0:0:0:0", "slow:1:5:40:0.5",
+		"restart:2", "restart:-2",
+		"ckpt:8+slow:0:5:40:16", "bogus:1", "ckpt:8+",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		for _, k := range []int{2, 8} {
+			p, err := ParsePlan(spec, k)
+			if err != nil {
+				if p != nil {
+					t.Fatalf("ParsePlan(%q, %d) returned a plan alongside error %v", spec, k, err)
+				}
+				continue
+			}
+			if p == nil {
+				// Only the default forms may resolve to the nil plan.
+				if spec != "" && spec != "none" {
+					t.Fatalf("ParsePlan(%q, %d) silently resolved to the nil default plan", spec, k)
+				}
+				continue
+			}
+			if verr := p.Validate(k); verr != nil {
+				t.Fatalf("ParsePlan(%q, %d) accepted an invalid plan: %v", spec, k, verr)
+			}
+			if p.Name != spec {
+				t.Fatalf("ParsePlan(%q, %d) stamped Name %q", spec, k, p.Name)
+			}
+			p2, err := ParsePlan(p.Name, k)
+			if err != nil {
+				t.Fatalf("ParsePlan(%q, %d) accepted, but its Name does not re-parse: %v", spec, k, err)
+			}
+			if !reflect.DeepEqual(p, p2) {
+				t.Fatalf("ParsePlan(%q, %d) round trip diverged:\n first %#v\nsecond %#v", spec, k, p, p2)
+			}
+		}
+	})
+}

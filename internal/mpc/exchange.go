@@ -318,6 +318,12 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 		// counters stay valid until the deferred reset.
 		c.recordExchange(totalMsgs, totalWords, roundMax, argSlot, c.stats.SpeculationWords-specBefore)
 	}
+	if c.est != nil {
+		// Adaptive placement's snapshot-and-switch: observe the round from
+		// the same live counters, recompute the shares, swap them in at the
+		// barrier. Serial, so still deterministic under any GOMAXPROCS.
+		c.adaptPlacement()
+	}
 	for s := range plans {
 		sc.sendWords[senderSlot(plans[s].from)] = 0
 	}

@@ -94,8 +94,11 @@ type Config struct {
 
 	// Placement is the policy deciding how the placement primitives split
 	// work across the small machines (sched.Cap, sched.Throughput,
-	// sched.Speculate). Nil is the capacity-proportional default,
-	// bit-identical to the pre-policy simulator. See sched and DESIGN.md §8.
+	// sched.Speculate, sched.Adaptive). Nil is the capacity-proportional
+	// default, bit-identical to the pre-policy simulator. Adaptive policies
+	// additionally re-estimate machine speeds from the rounds the run
+	// actually executes and re-split at round boundaries (DESIGN.md §10).
+	// See sched and DESIGN.md §8.
 	Placement sched.Policy
 
 	// Faults is a deterministic fault-injection schedule (crashes,
@@ -189,6 +192,10 @@ type Cluster struct {
 	uniformPlace bool      // all placement shares equal: even-split fast path
 	specR        int       // speculate:R redundancy dial (0 = off)
 	spec         *specScratch
+	est          *sched.Estimator // adaptive policy's online estimator (nil = static)
+	estSend      []int            // estimator observation scratch, per slot
+	estRecv      []int
+	estBusy      []float64
 
 	// Fault-injection and recovery engine (nil unless cfg.Faults is an
 	// active plan). See recover.go and DESIGN.md §7.
@@ -371,6 +378,13 @@ func (c *Cluster) Placement() sched.Policy { return c.placement }
 // distinct partner machine). 0 when the policy does not speculate.
 func (c *Cluster) SpeculationR() int { return c.specR }
 
+// PlacementEstimator returns the online estimator driving an adaptive
+// placement policy (sched.OnlinePolicy): the per-machine EWMA cost
+// estimates the round barrier recomputes PlaceShare from. Nil under the
+// static policies. Callers may read it (Estimate, Rounds) but must not
+// mutate it mid-run.
+func (c *Cluster) PlacementEstimator() *sched.Estimator { return c.est }
+
 // Profile returns the cluster's machine profile (nil = uniform).
 func (c *Cluster) Profile() *Profile { return c.cfg.Profile }
 
@@ -415,6 +429,13 @@ func (c *Cluster) ResetStats() {
 	}
 	if c.tr != nil {
 		c.tr.Reset()
+	}
+	// An adaptive placement policy re-adapts from scratch after a reset:
+	// the estimator returns to its declared-profile seed and the shares to
+	// the static Throughput seed, exactly as if the cluster had been rebuilt.
+	if c.est != nil {
+		c.est.Reset()
+		c.refreshPlaceShare()
 	}
 	if c.ft != nil {
 		for i := 0; i < c.k; i++ {

@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"hetmpc/internal/sched"
+	"hetmpc/internal/trace"
 )
 
 // Placement-policy state (DESIGN.md §8). The policy itself only supplies
@@ -65,6 +66,25 @@ func (c *Cluster) applyPlacement(pol sched.Policy) error {
 	c.placeShare = shares
 	c.uniformPlace = uniform
 	c.specR = pol.Speculation()
+	if op, ok := pol.(sched.OnlinePolicy); ok {
+		// The adaptive path: one estimator per cluster, seeded with the
+		// declared profile, plus a slot-indexed observation scratch so the
+		// per-round observe/recompute/switch adds no steady-state
+		// allocations. c.placeShare is the policy's own fresh slice here
+		// (never the capShare backing — Cap returned above), so the round
+		// barrier may overwrite it in place.
+		est, err := op.NewEstimator(sched.Machines{
+			CapShare: slices.Clone(c.capShare),
+			InvCost:  slices.Clone(c.invCost[1:]),
+		})
+		if err != nil {
+			return fmt.Errorf("mpc: placement %s: %w", pol.Name(), err)
+		}
+		c.est = est
+		c.estSend = make([]int, c.k+1)
+		c.estRecv = make([]int, c.k+1)
+		c.estBusy = make([]float64, c.k+1)
+	}
 	if c.specR > c.k/2 {
 		// Every victim needs a distinct partner outside the slow set. The
 		// policy (and any spec tag derived from it) records the requested
@@ -82,6 +102,67 @@ func (c *Cluster) applyPlacement(pol sched.Policy) error {
 		}
 	}
 	return nil
+}
+
+// adaptPlacement is the snapshot-and-switch step of an adaptive placement
+// policy (sched.OnlinePolicy, DESIGN.md §10), called by Exchange at the
+// round barrier — after the serial makespan scan has charged the round,
+// while the send/receive counters are still live. It folds the round's
+// observation (words moved and busy time per slot, the same quantities a
+// trace record carries, recomputed from the same counters and costs the
+// scan used) into the EWMA estimator, then swaps the recomputed
+// throughput-style shares into c.placeShare. Every placement decision
+// inside a round therefore sees one consistent share vector, and the
+// switch happens at the same serial program point of every run — adaptive
+// placement is bit-identical under any GOMAXPROCS, traced or not (the
+// observation is rebuilt from the counters rather than taken from the
+// trace, so tracing still only observes).
+//
+// Rounds where no machine moved a word (and the silent barrier-only
+// rounds, which never reach this hook) carry no speed information and
+// leave the estimate untouched. Checkpoint barriers and crash recoveries
+// are priced outside Exchange and are deliberately not observed: their
+// traffic is the recovery protocol's, not the placement primitives'.
+func (c *Cluster) adaptPlacement() {
+	sc := c.exch
+	moved := false
+	for slot := 0; slot <= c.k; slot++ {
+		c.estSend[slot] = sc.sendWords[slot]
+		c.estRecv[slot] = sc.recvWords[slot]
+		if w := sc.sendWords[slot] + sc.recvWords[slot]; w > 0 {
+			c.estBusy[slot] = float64(w) * c.slowCost(slot)
+			moved = true
+		} else {
+			c.estBusy[slot] = 0
+		}
+	}
+	if !moved {
+		return
+	}
+	c.est.Observe(trace.Round{
+		Round:     c.stats.Rounds,
+		Kind:      trace.KindExchange,
+		SendWords: c.estSend,
+		RecvWords: c.estRecv,
+		Busy:      c.estBusy,
+	})
+	c.refreshPlaceShare()
+}
+
+// refreshPlaceShare recomputes the live placement shares from the adaptive
+// estimator's current state (in place — the snapshot the next round's
+// placement decisions will see) and re-derives the even-split fast-path
+// flag the same way applyPlacement did.
+func (c *Cluster) refreshPlaceShare() {
+	c.est.Shares(c.placeShare)
+	uniform := true
+	for _, s := range c.placeShare {
+		if s != c.placeShare[0] {
+			uniform = false
+			break
+		}
+	}
+	c.uniformPlace = uniform
 }
 
 // speculateRoundMax prices one round under speculate:R, replacing the plain

@@ -32,6 +32,12 @@ import (
 type Profile struct {
 	Name string // for table/artifact labels; generators fill it in
 
+	// Spec is the ParseProfile spec this profile was built from ("" when
+	// the profile was constructed directly or by a generator). Re-parsing
+	// it reproduces the profile exactly (fuzz-tested), so a profile that
+	// came off a CLI flag can always be reconstructed from its artifacts.
+	Spec string
+
 	// Per small machine; nil means "all 1". Non-nil slices must have
 	// exactly K entries of positive values.
 	CapScale  []float64
@@ -146,6 +152,24 @@ func StragglerProfile(k, stragglers int, slowdown float64) *Profile {
 // otherwise uniform profile; duplicate machine indices and non-positive
 // speeds are rejected with the offending token named.
 func ParseProfile(spec string, k int) (*Profile, error) {
+	p, err := parseProfileSpec(spec, k)
+	if err != nil || p == nil {
+		return nil, err
+	}
+	// Validate at parse time: a degenerate numeric argument (an overflowing
+	// zipf exponent, a subnormal slowdown whose reciprocal is +Inf, …) is a
+	// spec error and should be rejected here with the spec named, not
+	// deferred until New rejects the cluster.
+	if err := p.validate(k); err != nil {
+		return nil, fmt.Errorf("mpc: profile %q: %w", spec, err)
+	}
+	p.Spec = spec
+	return p, nil
+}
+
+// parseProfileSpec dispatches the spec grammar; ParseProfile wraps it with
+// the parse-time validation and Spec stamping shared by every form.
+func parseProfileSpec(spec string, k int) (*Profile, error) {
 	if spec == "" || spec == "uniform" {
 		return nil, nil
 	}
@@ -174,15 +198,17 @@ func ParseProfile(spec string, k int) (*Profile, error) {
 		if len(args) != 2 {
 			return nil, fmt.Errorf("mpc: profile %q: want bimodal:SLOWFRAC:FACTOR", spec)
 		}
-		if args[0] < 0 || args[0] > 1 || args[1] <= 0 {
+		// The negated comparisons also reject NaN, which would otherwise
+		// flow into the slow-machine count as an undefined int conversion.
+		if !(args[0] >= 0 && args[0] <= 1) || !(args[1] > 0) {
 			return nil, fmt.Errorf("mpc: profile %q: need 0<=slowfrac<=1, factor>0", spec)
 		}
 		return BimodalProfile(k, args[0], args[1]), nil
 	case "straggler":
-		if len(args) != 2 || args[1] <= 0 {
+		if len(args) != 2 || !(args[1] > 0) {
 			return nil, fmt.Errorf("mpc: profile %q: want straggler:N:SLOWDOWN with slowdown>0", spec)
 		}
-		if args[0] < 1 || args[0] != math.Trunc(args[0]) {
+		if !(args[0] >= 1) || args[0] != math.Trunc(args[0]) || args[0] > float64(math.MaxInt32) {
 			return nil, fmt.Errorf("mpc: profile %q: straggler count must be an integer >= 1", spec)
 		}
 		return StragglerProfile(k, int(args[0]), args[1]), nil

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParsePlacement fuzzes the placement-spec grammar (DESIGN.md §8/§10):
+// Parse must never panic, and every accepted spec must round-trip — the
+// policy's canonical Name() re-parses to an identical policy, so a policy
+// that came off a CLI flag can always be reconstructed from the spec tag
+// recorded in the bench artifacts.
+func FuzzParsePlacement(f *testing.F) {
+	for _, seed := range []string{
+		"", "cap", "throughput",
+		"speculate:0", "speculate:2", "speculate:-1", "speculate:2:3",
+		"adaptive", "adaptive:0", "adaptive:0.25", "adaptive:1",
+		"adaptive:1.5", "adaptive:-0.1", "adaptive:NaN", "adaptive:",
+		"adaptive:1e-3", "bogus",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		pol, err := Parse(spec)
+		if err != nil {
+			if pol != nil {
+				t.Fatalf("Parse(%q) returned policy %#v alongside error %v", spec, pol, err)
+			}
+			return
+		}
+		if pol == nil {
+			// The capacity-proportional default: only the empty spec and
+			// "cap" may resolve to it.
+			if spec != "" && spec != "cap" {
+				t.Fatalf("Parse(%q) silently resolved to the nil default policy", spec)
+			}
+			return
+		}
+		switch p := pol.(type) {
+		case Speculate:
+			if p.R < 0 {
+				t.Fatalf("Parse(%q) accepted negative speculation dial %d", spec, p.R)
+			}
+		case Adaptive:
+			if !(p.Alpha >= 0) || p.Alpha > 1 || math.IsNaN(p.Alpha) {
+				t.Fatalf("Parse(%q) accepted EWMA gain %v outside [0,1]", spec, p.Alpha)
+			}
+		}
+		name := pol.Name()
+		pol2, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted, but its canonical Name %q does not re-parse: %v", spec, name, err)
+		}
+		if pol2 != pol {
+			t.Fatalf("Parse(%q) = %#v, but re-parsing its Name %q = %#v", spec, pol, name, pol2)
+		}
+	})
+}

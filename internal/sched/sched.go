@@ -21,15 +21,21 @@
 //   - Speculate — Throughput placement plus redundant execution of the R
 //     slowest per-round shards on idle fast machines, first-copy-wins; the
 //     speculative copies are charged honestly (mpc.Stats.SpeculationWords
-//     and the partner's busy time).
+//     and the partner's busy time);
+//   - Adaptive — Throughput recomputed online: an EWMA Estimator over the
+//     simulator's per-round observations (trace.Round-shaped) replaces the
+//     declared costs with measured ones, and the recomputed shares switch
+//     in at round boundaries (snapshot-and-switch, DESIGN.md §10) — the
+//     policy to reach for when the declared profile is wrong.
 //
-// A policy only returns static placement weights; the per-round
-// first-copy-wins accounting of Speculate lives in the mpc makespan scan
-// (DESIGN.md §8), because only the simulator sees per-round traffic and
-// transient slowdown windows. Policies never change what a correct
-// algorithm computes — placement moves data between machines, and every
-// experiment validates its output against the exact references under every
-// policy.
+// A Policy only returns static placement weights; the per-round
+// first-copy-wins accounting of Speculate, and the round-barrier
+// observe/recompute/switch loop of Adaptive (OnlinePolicy), live in the mpc
+// engine (DESIGN.md §8, §10), because only the simulator sees per-round
+// traffic and transient slowdown windows. Policies never change what a
+// correct algorithm computes — placement moves data between machines, and
+// every experiment validates its output against the exact references under
+// every policy.
 package sched
 
 import (
@@ -111,7 +117,20 @@ func (Throughput) Name() string { return "throughput" }
 
 // Shares implements Policy.
 func (Throughput) Shares(m Machines) ([]float64, error) {
-	shares := make([]float64, len(m.InvCost))
+	return throughputShares(m, nil)
+}
+
+// throughputShares is the one implementation of the min(cap, speed) share
+// formula, shared by Throughput, Speculate and the adaptive Estimator (which
+// feeds it measured rather than declared costs). Sharing the exact float
+// operations is what makes "adaptive at its declared seed == throughput"
+// bit-identical rather than merely close. dst is reused when it has the
+// right length; otherwise a fresh slice is allocated.
+func throughputShares(m Machines, dst []float64) ([]float64, error) {
+	shares := dst
+	if len(shares) != len(m.InvCost) {
+		shares = make([]float64, len(m.InvCost))
+	}
 	maxThr := 0.0
 	for i, ic := range m.InvCost {
 		if !(ic > 0) || math.IsInf(ic, 0) {
@@ -160,6 +179,9 @@ func (s Speculate) Speculation() int { return s.R }
 //	cap              capacity-proportional (the default)
 //	throughput       min-makespan split by min(cap, effective speed)
 //	speculate:R      throughput + redundant execution of the R slowest shards
+//	adaptive[:ALPHA] throughput shares recomputed per round from measured
+//	                 costs, EWMA gain ALPHA in [0,1] (default 0.5; 0 freezes
+//	                 the declared estimate and is exactly throughput)
 //
 // The empty spec and "cap" return (nil, nil): a nil policy is the default
 // Cap placement, mirroring how ParseProfile maps "uniform" to nil.
@@ -169,6 +191,8 @@ func Parse(spec string) (Policy, error) {
 		return nil, nil
 	case "throughput":
 		return Throughput{}, nil
+	case "adaptive":
+		return Adaptive{Alpha: DefaultAlpha}, nil
 	}
 	if rest, ok := strings.CutPrefix(spec, "speculate:"); ok {
 		r, err := strconv.Atoi(rest)
@@ -177,5 +201,12 @@ func Parse(spec string) (Policy, error) {
 		}
 		return Speculate{R: r}, nil
 	}
-	return nil, fmt.Errorf("sched: unknown placement %q (cap, throughput, speculate:R)", spec)
+	if rest, ok := strings.CutPrefix(spec, "adaptive:"); ok {
+		a, err := strconv.ParseFloat(rest, 64)
+		if err != nil || !(a >= 0) || a > 1 {
+			return nil, fmt.Errorf("sched: placement %q: want adaptive[:ALPHA] with ALPHA in [0,1]", spec)
+		}
+		return Adaptive{Alpha: a}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown placement %q (cap, throughput, speculate:R, adaptive[:ALPHA])", spec)
 }
