@@ -8,7 +8,9 @@ package hetmpc_test
 // the placement-policy subsystem (DESIGN.md §8); E26..E28 sweep the trace
 // subsystem's phase timelines and critical-path attribution (DESIGN.md
 // §9); E29..E31 sweep adaptive placement — online speed re-estimation
-// with round-boundary re-splitting (DESIGN.md §10). Each benchmark
+// with round-boundary re-splitting (DESIGN.md §10); E32 sweeps the
+// Exchange transports — the deliver phase over a real wire at asserted
+// bit-identical model numbers (DESIGN.md §11). Each benchmark
 // runs its experiment through the heterogeneous-MPC simulator, validates
 // every output against the exact references, and reports measured model
 // metrics via b.ReportMetric.
@@ -96,6 +98,7 @@ func BenchmarkE28_TraceGuidedPlacement(b *testing.B) { runExp(b, "e28") }
 func BenchmarkE29_AdaptivePolicyGrid(b *testing.B)        { runExp(b, "e29") }
 func BenchmarkE30_MisreportedProfile(b *testing.B)        { runExp(b, "e30") }
 func BenchmarkE31_AdaptiveTransientSlowdown(b *testing.B) { runExp(b, "e31") }
+func BenchmarkE32_TransportSweep(b *testing.B)            { runExp(b, "e32") }
 
 // --- direct algorithm micro-benchmarks with model-metric reporting ---
 

@@ -1,9 +1,9 @@
 // Command hetbench regenerates the paper's evaluation artifacts: the Table 1
 // comparison, the figure-style sweeps E2..E16, the heterogeneous-profile
 // sweeps E17..E19, the fault-injection sweeps E20..E22, the placement-policy
-// sweeps E23..E25, the trace/critical-path sweeps E26..E28, and the
-// adaptive-placement sweeps E29..E31 (see DESIGN.md §2/§6/§7/§8/§9/§10 and
-// EXPERIMENTS.md).
+// sweeps E23..E25, the trace/critical-path sweeps E26..E28, the
+// adaptive-placement sweeps E29..E31, and the wire-transport sweep E32 (see
+// DESIGN.md §2/§6/§7/§8/§9/§10/§11 and EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -30,6 +30,12 @@
 //	                            # lands in speculation_words; adaptive
 //	                            # re-estimates speeds online and re-splits
 //	                            # at round boundaries
+//	hetbench -exp e32 -transport tcp
+//	                            # rebuild the clusters on a real Exchange
+//	                            # transport (inproc, pipe, tcp); artifacts
+//	                            # gain wire_bytes (measured frame bytes)
+//	                            # while every modeled number stays
+//	                            # bit-identical — the conformance contract
 //	hetbench -exp table1 -trace # collect the per-round trace: text mode
 //	                            # appends the phase summary table, -json
 //	                            # artifacts gain the "trace" field (phase
@@ -53,7 +59,7 @@ func main() {
 
 func run() int {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e31) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e32) or 'all'")
 		seedFlag = flag.Uint64("seed", 7, "workload seed")
 		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonFlag = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, makespan, wall ns, allocs) instead of text tables")
@@ -72,6 +78,10 @@ func run() int {
 		return 2
 	}
 	if err := exp.SetPlacement(model.Placement); err != nil {
+		fmt.Fprintln(os.Stderr, "hetbench:", err)
+		return 2
+	}
+	if err := exp.SetTransport(model.Transport); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		return 2
 	}
@@ -119,6 +129,9 @@ func run() int {
 			}
 			if art.Model.SpeculationWords > 0 {
 				line += fmt.Sprintf(" spec-words=%d", art.Model.SpeculationWords)
+			}
+			if art.Model.WireBytes > 0 {
+				line += fmt.Sprintf(" wire-bytes=%d", art.Model.WireBytes)
 			}
 			if art.Trace != nil {
 				line += fmt.Sprintf(" trace-phases=%d", len(art.Trace.Phases))

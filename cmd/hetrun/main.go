@@ -30,9 +30,16 @@
 //	                                  # summary (makespan share + bottleneck
 //	                                  # machine per phase span); the model
 //	                                  # line is unchanged — tracing observes
+//	hetrun -alg mst -transport tcp    # run the Exchange deliver phase over a
+//	                                  # real transport (inproc, pipe, tcp);
+//	                                  # the model line gains wire-bytes, the
+//	                                  # measured frame bytes, while every
+//	                                  # modeled number stays bit-identical
+//	                                  # (DESIGN.md §11)
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +47,7 @@ import (
 	"hetmpc"
 	"hetmpc/internal/cliflags"
 	"hetmpc/internal/graph"
+	"hetmpc/internal/wire"
 )
 
 func main() {
@@ -86,6 +94,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
 		return 2
 	}
+	cfg.Transport, err = hetmpc.ParseTransport(model.Transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetrun:", err)
+		return 2
+	}
 	if model.Trace {
 		cfg.Trace = hetmpc.NewTrace()
 	}
@@ -94,6 +107,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
 		return 2
 	}
+	defer c.Close()
 	fmt.Printf("graph: n=%d m=%d Δ=%d avg-deg=%.1f | cluster: K=%d small-cap=%d large-cap=%d",
 		g.N, g.M(), g.MaxDegree(), g.AvgDegree(), c.K(), c.SmallCap(), c.LargeCap())
 	if p := c.Profile(); p != nil {
@@ -108,6 +122,9 @@ func run() int {
 			// The dial was clamped to K/2: report what actually runs.
 			fmt.Printf(" (effective speculate:%d)", got)
 		}
+	}
+	if name := c.TransportName(); name != "inproc" {
+		fmt.Printf(" transport=%s", name)
 	}
 	fmt.Println()
 
@@ -124,6 +141,9 @@ func run() int {
 	}
 	if st.SpeculationWords > 0 {
 		fmt.Printf(" spec-words=%d", st.SpeculationWords)
+	}
+	if st.WireBytes > 0 {
+		fmt.Printf(" wire-bytes=%d", st.WireBytes)
 	}
 	fmt.Println()
 	if tr := c.Trace(); tr != nil {
@@ -158,7 +178,13 @@ func makeGraph(input, gen string, n, m int, seed uint64, alg string) (*hetmpc.Gr
 			return nil, err
 		}
 		defer fh.Close()
-		return graph.Read(fh)
+		// Accept both graph formats: the binary shard stream (graphgen -bin)
+		// is sniffed by its block magic, anything else is the text format.
+		br := bufio.NewReader(fh)
+		if wire.SniffBlock(br) {
+			return wire.ReadGraph(br)
+		}
+		return graph.Read(br)
 	}
 	weighted := alg == "mst" || alg == "baseline-mst" || alg == "approx-mst" || alg == "approx-mincut"
 	switch gen {

@@ -79,6 +79,7 @@ import (
 	"hetmpc/internal/sched"
 	"hetmpc/internal/sublinear"
 	"hetmpc/internal/trace"
+	"hetmpc/internal/wire"
 )
 
 // ErrNeedsLarge is the unified "requires the large machine" failure: every
@@ -243,6 +244,35 @@ func ParseProfile(spec string, k int) (*Profile, error) { return mpc.ParseProfil
 // "throughput", "speculate:R", "adaptive[:ALPHA]"). The empty spec and
 // "cap" return nil — the capacity-proportional default.
 func ParsePlacement(spec string) (PlacementPolicy, error) { return sched.Parse(spec) }
+
+// --- Exchange transports and the wire codec (DESIGN.md §11) ---
+
+// Transport selects how the Exchange deliver phase moves bytes
+// (Config.Transport): nil is the in-process shared-memory path,
+// bit-identical to the pre-wire engine; NewPipeTransport and
+// NewTCPTransport push every round through real file descriptors, with the
+// measured bytes reported in ClusterStats.WireBytes beside the modeled
+// words the cost model keeps charging unchanged. A transport belongs to
+// exactly one cluster; release it with Cluster.Close.
+type Transport = wire.Transport
+
+// ErrTransport is wrapped by every transport-layer failure an Exchange
+// surfaces — a link dying mid-round, a transport that cannot open. The
+// error names the failed link; detect with errors.Is.
+var ErrTransport = wire.ErrTransport
+
+// NewPipeTransport returns the socketpair transport: one AF_UNIX stream
+// pair per machine, the single-host multi-process wire shape.
+func NewPipeTransport() Transport { return wire.NewPipe() }
+
+// NewTCPTransport returns the loopback TCP transport: one TCP connection
+// per machine through an ephemeral 127.0.0.1 listener.
+func NewTCPTransport() Transport { return wire.NewTCP() }
+
+// ParseTransport resolves a -transport CLI spec: "" and "inproc" select the
+// shared-memory path (nil Transport), "pipe" and "tcp" the real-wire
+// transports.
+func ParseTransport(spec string) (Transport, error) { return wire.Parse(spec) }
 
 // --- Per-round tracing and phase spans (DESIGN.md §9) ---
 

@@ -1,6 +1,6 @@
 // Package cliflags is the single source of the cross-cutting model flags
-// shared by cmd/hetbench and cmd/hetrun: -profile, -faults, -placement and
-// -trace. The two commands used to duplicate the spec-syntax help strings
+// shared by cmd/hetbench and cmd/hetrun: -profile, -faults, -placement,
+// -transport and -trace. The two commands used to duplicate the spec-syntax help strings
 // and they drifted once already; both now register through Register, so the
 // option syntax cannot diverge again and a new cross-cutting flag lands in
 // both commands by construction.
@@ -16,6 +16,8 @@ const (
 	FaultsSyntax = "+-joined ckpt:I, crash:R:M[:K], rate:P[:SEED], slow:M:FROM:TO:FACTOR, restart:K (e.g. ckpt:8+rate:0.002)"
 	// PlacementSyntax is the sched.Parse spec grammar.
 	PlacementSyntax = "cap, throughput, speculate:R, adaptive[:ALPHA]"
+	// TransportSyntax is the wire.Parse spec grammar (DESIGN.md §11).
+	TransportSyntax = "inproc (shared memory), pipe (socketpair), tcp (loopback)"
 	// TraceHelp describes the -trace toggle (DESIGN.md §9).
 	TraceHelp = "collect the per-round trace timeline (phase spans, per-round makespan contributions, bottleneck machines); never changes the measured stats"
 )
@@ -25,6 +27,7 @@ type Model struct {
 	Profile   string
 	Faults    string
 	Placement string
+	Transport string
 	Trace     bool
 }
 
@@ -37,6 +40,7 @@ func Register(fs *flag.FlagSet, scope string) *Model {
 	fs.StringVar(&m.Profile, "profile", "", "machine profile"+scope+": "+ProfileSyntax)
 	fs.StringVar(&m.Faults, "faults", "", "fault plan"+scope+": "+FaultsSyntax)
 	fs.StringVar(&m.Placement, "placement", "", "placement policy"+scope+": "+PlacementSyntax)
+	fs.StringVar(&m.Transport, "transport", "", "Exchange transport"+scope+": "+TransportSyntax)
 	fs.BoolVar(&m.Trace, "trace", false, TraceHelp)
 	return m
 }

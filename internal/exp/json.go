@@ -35,6 +35,12 @@ type ModelStats struct {
 	// SpeculationWords is the redundant traffic launched by speculate:R
 	// placement (DESIGN.md §8); zero under cap and throughput.
 	SpeculationWords int64 `json:"speculation_words"`
+
+	// WireBytes is the measured frame bytes the deliver phase put on a real
+	// transport (DESIGN.md §11); zero on the in-process memcpy path. It sits
+	// beside TotalWords (the modeled cost) deliberately: the model numbers
+	// must not move when the wire turns on.
+	WireBytes int64 `json:"wire_bytes"`
 }
 
 func (m *ModelStats) add(s mpc.Stats) {
@@ -54,6 +60,7 @@ func (m *ModelStats) add(s mpc.Stats) {
 	m.Checkpoints += s.Checkpoints
 	m.ReplicationWords += s.ReplicationWords
 	m.SpeculationWords += s.SpeculationWords
+	m.WireBytes += s.WireBytes
 }
 
 // TraceStats is the per-phase critical-path summary of an experiment's
@@ -108,7 +115,13 @@ type Artifact struct {
 	// Placement is the cross-cutting placement-policy spec (SetPlacement /
 	// hetbench -placement); empty = the capacity-proportional default.
 	// Like Profile and Faults it re-names the artifact.
-	Placement  string     `json:"placement,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	// Transport is the cross-cutting Exchange-transport spec (SetTransport /
+	// hetbench -transport); empty = the in-process memcpy path. Conformance
+	// (DESIGN.md §11) guarantees the model numbers are bit-identical either
+	// way, but the artifact gains a nonzero wire_bytes, so it is re-named
+	// like the other overrides to protect the committed baseline.
+	Transport  string     `json:"transport,omitempty"`
 	GoVersion  string     `json:"go_version"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	WallNS     int64      `json:"wall_ns"`
@@ -143,6 +156,7 @@ var tracker struct {
 	profileApplied   bool
 	faultsApplied    bool
 	placementApplied bool
+	transportApplied bool
 }
 
 func trackCluster(c *mpc.Cluster) {
@@ -155,11 +169,12 @@ func trackCluster(c *mpc.Cluster) {
 
 // trackOverrides records that build() injected the cross-cutting overrides
 // into a cluster of the in-flight experiment.
-func trackOverrides(profile, faults, placement bool) {
+func trackOverrides(profile, faults, placement, transport bool) {
 	tracker.Lock()
 	tracker.profileApplied = tracker.profileApplied || profile
 	tracker.faultsApplied = tracker.faultsApplied || faults
 	tracker.placementApplied = tracker.placementApplied || placement
+	tracker.transportApplied = tracker.transportApplied || transport
 	tracker.Unlock()
 }
 
@@ -175,7 +190,8 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	tracker.Lock()
 	tracker.active = true
 	tracker.clusters = tracker.clusters[:0]
-	tracker.profileApplied, tracker.faultsApplied, tracker.placementApplied = false, false, false
+	tracker.profileApplied, tracker.faultsApplied = false, false
+	tracker.placementApplied, tracker.transportApplied = false, false
 	tracker.Unlock()
 
 	var msBefore, msAfter runtime.MemStats
@@ -188,7 +204,7 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	tracker.Lock()
 	clusters := tracker.clusters
 	profileApplied, faultsApplied := tracker.profileApplied, tracker.faultsApplied
-	placementApplied := tracker.placementApplied
+	placementApplied, transportApplied := tracker.placementApplied, tracker.transportApplied
 	tracker.clusters = nil
 	tracker.active = false
 	tracker.Unlock()
@@ -218,6 +234,9 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	if placementApplied {
 		a.Placement = placementSpec
 	}
+	if transportApplied {
+		a.Transport = transportSpec
+	}
 	var rounds []trace.Round
 	traced := 0
 	makespan := 0.0
@@ -238,6 +257,11 @@ func Run(id string, seed uint64) (*Artifact, error) {
 			makespan += sub
 		}
 	}
+	// Clusters built on a real transport hold open sockets; release them now
+	// that their stats and traces have been read (no-op for inproc).
+	for _, c := range clusters {
+		c.Close()
+	}
 	if traced > 0 {
 		s := trace.Summarize(rounds)
 		a.Trace = &TraceStats{
@@ -253,8 +277,9 @@ func Run(id string, seed uint64) (*Artifact, error) {
 
 // WriteFile writes the artifact as BENCH_<exp>.json under dir (created if
 // missing) and returns the path. Artifacts produced under a profile,
-// fault-plan or placement override are written as BENCH_<exp>@<profile>.json
-// / BENCH_<exp>@faults=<plan>.json / BENCH_<exp>@place=<policy>.json so
+// fault-plan, placement or transport override are written as
+// BENCH_<exp>@<profile>.json / BENCH_<exp>@faults=<plan>.json /
+// BENCH_<exp>@place=<policy>.json / BENCH_<exp>@wire=<transport>.json so
 // they never clobber the committed baseline.
 func (a *Artifact) WriteFile(dir string) (string, error) {
 	if dir == "" {
@@ -275,6 +300,9 @@ func (a *Artifact) WriteFile(dir string) (string, error) {
 	}
 	if a.Placement != "" {
 		name += "@place=" + sanitize(a.Placement)
+	}
+	if a.Transport != "" {
+		name += "@wire=" + sanitize(a.Transport)
 	}
 	path := filepath.Join(dir, name+".json")
 	data, err := json.MarshalIndent(a, "", "  ")

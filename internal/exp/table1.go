@@ -10,6 +10,7 @@ import (
 	"hetmpc/internal/sched"
 	"hetmpc/internal/sublinear"
 	"hetmpc/internal/trace"
+	"hetmpc/internal/wire"
 )
 
 // Sizes used by the Table 1 reproduction. Small enough to run in seconds,
@@ -29,11 +30,12 @@ func newSub(n, m int, seed uint64) (*mpc.Cluster, error) {
 	return build(mpc.Config{N: n, M: m, NoLarge: true, Seed: seed})
 }
 
-// build applies the package profile, fault-plan and placement overrides
-// (SetProfile, SetFaults, SetPlacement), constructs the cluster and
-// registers it with the run tracker.
+// build applies the package profile, fault-plan, placement and transport
+// overrides (SetProfile, SetFaults, SetPlacement, SetTransport), constructs
+// the cluster and registers it with the run tracker.
 func build(cfg mpc.Config) (*mpc.Cluster, error) {
 	profileApplied, faultsApplied, placementApplied := false, false, false
+	transportApplied := false
 	if profileSpec != "" && cfg.Profile == nil {
 		p, err := mpc.ParseProfile(profileSpec, cfg.DeriveK())
 		if err != nil {
@@ -58,6 +60,16 @@ func build(cfg mpc.Config) (*mpc.Cluster, error) {
 		cfg.Placement = p
 		placementApplied = p != nil // "cap" parses to nil: baseline, no tag
 	}
+	if transportSpec != "" && cfg.Transport == nil {
+		// Each cluster gets its own transport instance: links are per-cluster
+		// resources, not shareable across concurrently live clusters.
+		tr, err := wire.Parse(transportSpec)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Transport = tr
+		transportApplied = tr != nil // "inproc" parses to nil: baseline, no tag
+	}
 	if traceOn && cfg.Trace == nil {
 		// Unlike the overrides above, tracing observes without perturbing:
 		// the artifact gains a trace summary but keeps its baseline name
@@ -67,8 +79,8 @@ func build(cfg mpc.Config) (*mpc.Cluster, error) {
 	c, err := mpc.New(cfg)
 	if err == nil {
 		trackCluster(c)
-		if profileApplied || faultsApplied || placementApplied {
-			trackOverrides(profileApplied, faultsApplied, placementApplied)
+		if profileApplied || faultsApplied || placementApplied || transportApplied {
+			trackOverrides(profileApplied, faultsApplied, placementApplied, transportApplied)
 		}
 	}
 	return c, err
@@ -83,6 +95,10 @@ var faultSpec string
 // placementSpec is the cross-cutting placement-policy override; see
 // SetPlacement.
 var placementSpec string
+
+// transportSpec is the cross-cutting Exchange-transport override; see
+// SetTransport.
+var transportSpec string
 
 // traceOn is the cross-cutting trace toggle; see SetTrace.
 var traceOn bool
@@ -137,6 +153,20 @@ func SetPlacement(spec string) error {
 		return err
 	}
 	placementSpec = spec
+	return nil
+}
+
+// SetTransport installs an Exchange-transport spec (wire.Parse syntax:
+// "inproc", "pipe", "tcp") that every subsequently built experiment cluster
+// adopts — e.g. run Table 1 over loopback TCP and read the wire_bytes column
+// of the artifact next to the unchanged modeled words. The empty spec (or
+// "inproc") restores the in-process memcpy path. Each cluster gets a fresh
+// transport instance at build time; only the spec is cross-cutting.
+func SetTransport(spec string) error {
+	if _, err := wire.Parse(spec); err != nil {
+		return err
+	}
+	transportSpec = spec
 	return nil
 }
 

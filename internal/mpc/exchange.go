@@ -107,7 +107,14 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 	if c.stats.Rounds >= c.cfg.MaxRounds {
 		return nil, nil, fmt.Errorf("%w: %d rounds", ErrRounds, c.stats.Rounds)
 	}
+	if c.wn != nil && c.wn.broken != nil {
+		// A transport that failed mid-round stays failed: every later round
+		// reports the original link failure instead of limping on a cluster
+		// whose machines disagree about what was delivered.
+		return nil, nil, c.wn.broken
+	}
 	c.stats.Rounds++
+	c.roundWire = 0
 	ins = make([][]Msg, c.k)
 
 	// Assemble the sender list in the deterministic delivery order. Plans
@@ -245,10 +252,24 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 		}
 	}
 
-	// Phase 4: copy messages to their precomputed offsets, in parallel over
-	// senders. Offsets are disjoint, so the writes race with nothing and the
-	// result is schedule-independent.
-	if serial {
+	// Phase 4: deliver at the precomputed offsets. Under a transport the
+	// messages are framed through the per-machine links (wirenet.go) in the
+	// same deterministic order the offsets were assigned in, so the inbox
+	// is bit-identical to the shared-memory copy; either way the result is
+	// schedule-independent.
+	if c.wn != nil && c.wn.active() {
+		if err := c.wn.open(c.k + 1); err != nil {
+			return nil, nil, err
+		}
+	}
+	if c.wn != nil && c.wn.active() {
+		wb, werr := c.deliverWire(flat)
+		c.roundWire = wb
+		c.stats.WireBytes += wb
+		if werr != nil {
+			return nil, nil, werr
+		}
+	} else if serial {
 		slotOf := sc.getSlots()
 		for s := range plans {
 			sc.copySender(&plans[s], slotOf, flat)

@@ -32,6 +32,7 @@ import (
 	"hetmpc/internal/fault"
 	"hetmpc/internal/sched"
 	"hetmpc/internal/trace"
+	"hetmpc/internal/wire"
 	"hetmpc/internal/xrand"
 )
 
@@ -107,6 +108,17 @@ type Config struct {
 	// bit-identical to the paper's model. See fault.Plan and DESIGN.md §7.
 	Faults *fault.Plan
 
+	// Transport selects how the Exchange deliver phase moves bytes
+	// (DESIGN.md §11): nil — or wire.Inproc — is the in-process
+	// shared-memory path, bit-identical to the pre-wire engine;
+	// wire.NewPipe() routes every round through an AF_UNIX socketpair per
+	// machine and wire.NewTCP() through a loopback TCP connection per
+	// machine, both byte-identical in outputs and modeled Stats, with the
+	// measured bytes surfaced in Stats.WireBytes. The cost model always
+	// stays above delivery. A transport belongs to exactly one cluster;
+	// release it with Cluster.Close.
+	Transport wire.Transport
+
 	// Trace, when non-nil, collects the structured per-round timeline
 	// (DESIGN.md §9): one record per makespan contribution — exchange
 	// rounds, checkpoint barriers, crash recoveries — tagged with the
@@ -164,6 +176,12 @@ type Stats struct {
 	// onto a fast partner machine is charged here and in the partner's busy
 	// time, so speculation is never free. Zero under cap and throughput.
 	SpeculationWords int64 `json:"speculation_words"`
+
+	// WireBytes is the measured byte count the transport put on the wire
+	// (frame headers + encoded payloads; DESIGN.md §11), reported beside
+	// the modeled word counts it never influences. Always 0 under the
+	// in-process shared-memory path.
+	WireBytes int64 `json:"wire_bytes"`
 }
 
 // Cluster is a running heterogeneous MPC system.
@@ -204,6 +222,14 @@ type Cluster struct {
 	// Per-round trace collector (nil = untraced; see Config.Trace and
 	// internal/trace).
 	tr *trace.Collector
+
+	// Transport-backed delivery state (nil = shared-memory delivery; see
+	// wirenet.go and DESIGN.md §11).
+	wn *wireNet
+
+	// roundWire is the current round's measured transport bytes, staged
+	// for the trace record (0 under shared-memory delivery).
+	roundWire int64
 }
 
 // New validates cfg, fills defaults and returns a cluster.
@@ -269,6 +295,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err := c.applyFaults(cfg.Faults); err != nil {
 		return nil, err
 	}
+	c.applyTransport(cfg.Transport)
 	if !cfg.NoLarge && largeCap < 4*k {
 		return nil, fmt.Errorf("mpc: out of the model envelope: large capacity %d cannot address K=%d machines", largeCap, k)
 	}
@@ -442,6 +469,12 @@ func (c *Cluster) ResetStats() {
 			c.ft.lastCkpt[i] = 0
 			c.ft.downUntil[i] = 0
 			c.ft.replicaWords[i] = 0
+		}
+	}
+	// Per-link byte counters track Stats.WireBytes, so they reset with it.
+	if c.wn != nil {
+		for i := range c.wn.bytes {
+			c.wn.bytes[i] = 0
 		}
 	}
 }

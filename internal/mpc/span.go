@@ -62,6 +62,7 @@ func (s *Span) End() Stats {
 		Checkpoints:      now.Checkpoints - s.before.Checkpoints,
 		ReplicationWords: now.ReplicationWords - s.before.ReplicationWords,
 		SpeculationWords: now.SpeculationWords - s.before.SpeculationWords,
+		WireBytes:        now.WireBytes - s.before.WireBytes,
 	}
 	return s.delta
 }
@@ -111,6 +112,7 @@ func (c *Cluster) recordExchange(msgs int, words int64, roundMax float64, argSlo
 		Kind:      trace.KindExchange,
 		Messages:  msgs,
 		Words:     words,
+		WireBytes: c.roundWire,
 		Latency:   c.latency,
 		MaxTime:   roundMax,
 		Makespan:  c.latency + roundMax,

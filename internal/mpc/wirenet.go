@@ -1,0 +1,253 @@
+package mpc
+
+import (
+	"fmt"
+	"sync"
+
+	"hetmpc/internal/wire"
+)
+
+// wireNet runs the Exchange deliver phase over a wire.Transport: instead of
+// copying Msg structs through shared memory, every message is encoded into
+// a per-destination frame buffer, written through the destination's link,
+// and decoded back into the flat inbox on the other side.
+//
+// The delivered inbox is bit-identical to the shared-memory path because
+// both sides follow the same deterministic order: frames are encoded
+// serially sender-major (large machine first, then small senders ascending,
+// submission order within a sender) — exactly the order the layout phase
+// assigned inbox offsets in — and each destination's reader decodes its
+// stream sequentially into flat[slotBase+0..n). No offsets cross the wire;
+// the stream order is the offset.
+//
+// Payloads that are not wire-native (algorithm-local structs; see the wire
+// package comment) cross as KindRef frames whose payload values ride the
+// per-destination refs table, built fully before the reader goroutines are
+// spawned (the spawn is the happens-before edge; file descriptors provide
+// none).
+type wireNet struct {
+	tr     wire.Transport
+	opened bool
+	links  []wire.Link
+	inproc bool // transport opened to a nil link set: memcpy path
+
+	bufs   [][]byte        // per destination slot, encoded frames of the round
+	refs   [][]any         // per destination slot, KindRef payload table
+	decs   []*wire.Decoder // per destination slot, pooled decode state
+	werr   []error         // per slot, writer error of the round
+	rerr   []error         // per slot, reader error of the round
+	bytes  []int64         // per slot, cumulative bytes written
+	broken error           // sticky: first transport failure; later rounds fail fast
+}
+
+// active reports whether delivery goes over links (false before Open and
+// for transports that opted into the shared-memory path).
+func (wn *wireNet) active() bool { return !wn.inproc }
+
+// open lazily opens the transport's links at the first delivering Exchange.
+func (wn *wireNet) open(slots int) error {
+	if wn.opened {
+		return nil
+	}
+	links, err := wn.tr.Open(slots)
+	if err != nil {
+		wn.broken = fmt.Errorf("mpc: transport %q failed to open: %v: %w", wn.tr.Name(), err, wire.ErrTransport)
+		return wn.broken
+	}
+	wn.opened = true
+	if links == nil {
+		wn.inproc = true
+		return nil
+	}
+	if len(links) != slots {
+		wn.broken = fmt.Errorf("mpc: transport %q opened %d links, want %d: %w", wn.tr.Name(), len(links), slots, wire.ErrTransport)
+		return wn.broken
+	}
+	wn.links = links
+	wn.bufs = make([][]byte, slots)
+	wn.refs = make([][]any, slots)
+	wn.decs = make([]*wire.Decoder, slots)
+	wn.werr = make([]error, slots)
+	wn.rerr = make([]error, slots)
+	wn.bytes = make([]int64, slots)
+	for i := range wn.decs {
+		wn.decs[i] = &wire.Decoder{}
+	}
+	return nil
+}
+
+// fail closes the link of slot and records err once. Closing is the
+// anti-hang mechanism: it unblocks whichever side of the link is still
+// inside a Read or Write, so a mid-round failure always surfaces as an
+// error instead of a deadlocked round.
+func (wn *wireNet) fail(slot int, errs []error, err error) {
+	if errs[slot] == nil {
+		errs[slot] = err
+	}
+	wn.links[slot].Close()
+}
+
+// deliverWire is the transport-backed phase 4 of Exchange: encode, write,
+// read back, place. It returns the round's bytes on the wire. On failure
+// the first error in slot order is returned, wrapped in wire.ErrTransport
+// and naming the link; the net is left broken so later rounds fail fast.
+func (c *Cluster) deliverWire(flat []Msg) (int64, error) {
+	wn := c.wn
+	sc := c.exch
+	plans := sc.plans
+
+	// Encode, serially, in the deterministic delivery order. The refs
+	// tables must be complete before any reader goroutine starts.
+	for slot := range wn.bufs {
+		wn.bufs[slot] = wn.bufs[slot][:0]
+		wn.refs[slot] = wn.refs[slot][:0]
+		wn.werr[slot], wn.rerr[slot] = nil, nil
+	}
+	var fm wire.Message
+	for s := range plans {
+		p := &plans[s]
+		for j := range p.msgs {
+			m := &p.msgs[j]
+			slot := 1 + m.To
+			if m.To == Large {
+				slot = 0
+			}
+			fm.From = int32(p.from)
+			fm.To = int32(m.To)
+			fm.Words = uint32(m.Words)
+			if !fm.FromPayload(m.Data) {
+				fm.Ref = uint32(len(wn.refs[slot]))
+				wn.refs[slot] = append(wn.refs[slot], m.Data)
+			}
+			var err error
+			if wn.bufs[slot], err = wire.AppendMessage(wn.bufs[slot], &fm); err != nil {
+				wn.broken = fmt.Errorf("mpc: transport %q link %q: encode: %v: %w",
+					wn.tr.Name(), wn.links[slot].Name(), err, wire.ErrTransport)
+				return 0, wn.broken
+			}
+		}
+	}
+
+	// Readers first (writes into a link block once its kernel buffer fills,
+	// so the drain must already be running), one goroutine per receiving
+	// slot, each decoding its stream sequentially into its flat window.
+	var wg sync.WaitGroup
+	for slot := range wn.links {
+		n := sc.recvCount[slot]
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(slot, n int) {
+			defer wg.Done()
+			link := wn.links[slot]
+			dec := wn.decs[slot]
+			dec.Release()
+			base := sc.slotBase[slot]
+			var m wire.Message
+			for i := 0; i < n; i++ {
+				if err := dec.ReadMessage(link, &m); err != nil {
+					wn.fail(slot, wn.rerr, err)
+					return
+				}
+				data := m.Payload()
+				if m.Kind == wire.KindRef {
+					if int(m.Ref) >= len(wn.refs[slot]) {
+						wn.fail(slot, wn.rerr, fmt.Errorf("%w: ref %d of %d", wire.ErrCorrupt, m.Ref, len(wn.refs[slot])))
+						return
+					}
+					data = wn.refs[slot][m.Ref]
+				}
+				flat[base+i] = Msg{From: int(m.From), To: int(m.To), Words: int(m.Words), Data: data}
+			}
+		}(slot, n)
+	}
+
+	// Writes: one Write per destination link, sequential (determinism of
+	// the byte accounting; the readers drain concurrently).
+	var roundBytes int64
+	for slot := range wn.links {
+		buf := wn.bufs[slot]
+		if len(buf) == 0 {
+			continue
+		}
+		if _, err := wn.links[slot].Write(buf); err != nil {
+			wn.fail(slot, wn.werr, err)
+			continue
+		}
+		roundBytes += int64(len(buf))
+		wn.bytes[slot] += int64(len(buf))
+	}
+	wg.Wait()
+
+	for slot := range wn.links {
+		err := wn.werr[slot]
+		if err == nil {
+			err = wn.rerr[slot]
+		}
+		if err == nil {
+			continue
+		}
+		wn.broken = fmt.Errorf("mpc: transport %q link %q failed mid-round %d: %v: %w",
+			wn.tr.Name(), wn.links[slot].Name(), c.stats.Rounds, err, wire.ErrTransport)
+		return roundBytes, wn.broken
+	}
+	return roundBytes, nil
+}
+
+// applyTransport wires cfg.Transport into the cluster (nil = shared-memory
+// delivery, the pre-wire engine path).
+func (c *Cluster) applyTransport(tr wire.Transport) {
+	if tr == nil {
+		return
+	}
+	c.wn = &wireNet{tr: tr}
+}
+
+// Transport returns the cluster's transport, nil for the in-process
+// shared-memory path.
+func (c *Cluster) Transport() wire.Transport {
+	if c.wn == nil {
+		return nil
+	}
+	return c.wn.tr
+}
+
+// TransportName returns the transport spec name ("inproc" for the
+// shared-memory path).
+func (c *Cluster) TransportName() string {
+	if c.wn == nil {
+		return "inproc"
+	}
+	return c.wn.tr.Name()
+}
+
+// WireBytesOf returns the cumulative bytes written to machine id's link
+// (Large or a small-machine index); 0 under the shared-memory path.
+func (c *Cluster) WireBytesOf(id int) int64 {
+	if c.wn == nil || c.wn.bytes == nil {
+		return 0
+	}
+	return c.wn.bytes[senderSlot(id)]
+}
+
+// KillLink closes machine id's transport link mid-run — the fault hook the
+// conformance suite uses to simulate a peer dying. The next delivering
+// Exchange must surface a wire.ErrTransport naming the link rather than
+// hanging. No-op under the shared-memory path.
+func (c *Cluster) KillLink(id int) error {
+	if c.wn == nil || c.wn.links == nil {
+		return nil
+	}
+	return c.wn.links[senderSlot(id)].Close()
+}
+
+// Close releases the cluster's transport resources. Safe on untransported
+// clusters and safe to call more than once. The cluster must not Exchange
+// after Close.
+func (c *Cluster) Close() error {
+	if c.wn == nil {
+		return nil
+	}
+	return c.wn.tr.Close()
+}

@@ -52,6 +52,10 @@ type Round struct {
 	Messages int   `json:"messages,omitempty"`
 	Words    int64 `json:"words"` // algorithm words moved (0 on barriers)
 
+	// WireBytes is the round's measured bytes on the transport links
+	// (DESIGN.md §11); 0 under in-process shared-memory delivery.
+	WireBytes int64 `json:"wire_bytes,omitempty"`
+
 	Latency  float64 `json:"latency"`  // barrier latency charged
 	MaxTime  float64 `json:"max_time"` // busiest machine's charge
 	Makespan float64 `json:"makespan"` // exact contribution to Stats.Makespan

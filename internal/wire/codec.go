@@ -1,0 +1,283 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// payloadLen returns the payload byte length a Message encodes to, or an
+// error when the message cannot be framed (slice too long for the uint32
+// length prefix).
+func payloadLen(m *Message) (int, error) {
+	switch m.Kind {
+	case KindNil:
+		return 0, nil
+	case KindInt64, KindUint64:
+		return 8, nil
+	case KindInt64Slice:
+		if len(m.I64s) > math.MaxUint32/8 {
+			return 0, fmt.Errorf("%w: %d int64s", ErrTooLarge, len(m.I64s))
+		}
+		return 8 * len(m.I64s), nil
+	case KindUint64Slice:
+		if len(m.U64s) > math.MaxUint32/8 {
+			return 0, fmt.Errorf("%w: %d uint64s", ErrTooLarge, len(m.U64s))
+		}
+		return 8 * len(m.U64s), nil
+	case KindBytes:
+		if len(m.Bytes) > math.MaxUint32 {
+			return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(m.Bytes))
+		}
+		return len(m.Bytes), nil
+	case KindRef:
+		return 4, nil
+	}
+	return 0, fmt.Errorf("%w: kind %d", ErrCorrupt, m.Kind)
+}
+
+// AppendMessage appends m's frame to dst and returns the extended slice. It
+// allocates only when dst needs to grow, so a caller reusing its buffer
+// round over round encodes with zero steady-state allocations.
+func AppendMessage(dst []byte, m *Message) ([]byte, error) {
+	plen, err := payloadLen(m)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, byte(m.Kind))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.To))
+	dst = binary.LittleEndian.AppendUint32(dst, m.Words)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(plen))
+	switch m.Kind {
+	case KindInt64:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(m.I64))
+	case KindUint64:
+		dst = binary.LittleEndian.AppendUint64(dst, m.U64)
+	case KindInt64Slice:
+		for _, v := range m.I64s {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	case KindUint64Slice:
+		for _, v := range m.U64s {
+			dst = binary.LittleEndian.AppendUint64(dst, v)
+		}
+	case KindBytes:
+		dst = append(dst, m.Bytes...)
+	case KindRef:
+		dst = binary.LittleEndian.AppendUint32(dst, m.Ref)
+	}
+	return dst, nil
+}
+
+// parseHeader validates a 20-byte header and returns kind and payload
+// length. maxPayload <= 0 means DefaultMaxPayload.
+func parseHeader(h []byte, m *Message, maxPayload int) (plen int, err error) {
+	if binary.LittleEndian.Uint16(h[0:2]) != Magic {
+		return 0, fmt.Errorf("%w: bad magic 0x%04x", ErrCorrupt, binary.LittleEndian.Uint16(h[0:2]))
+	}
+	if h[2] != Version {
+		return 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, h[2])
+	}
+	kind := Kind(h[3])
+	if kind >= kindCount {
+		return 0, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+	m.Kind = kind
+	m.From = int32(binary.LittleEndian.Uint32(h[4:8]))
+	m.To = int32(binary.LittleEndian.Uint32(h[8:12]))
+	m.Words = binary.LittleEndian.Uint32(h[12:16])
+	plen32 := binary.LittleEndian.Uint32(h[16:20])
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	if uint64(plen32) > uint64(maxPayload) {
+		return 0, fmt.Errorf("%w: payload %d > limit %d", ErrTooLarge, plen32, maxPayload)
+	}
+	plen = int(plen32)
+	switch kind {
+	case KindNil:
+		if plen != 0 {
+			return 0, fmt.Errorf("%w: nil payload with plen %d", ErrCorrupt, plen)
+		}
+	case KindInt64, KindUint64:
+		if plen != 8 {
+			return 0, fmt.Errorf("%w: scalar payload with plen %d", ErrCorrupt, plen)
+		}
+	case KindInt64Slice, KindUint64Slice:
+		if plen%8 != 0 {
+			return 0, fmt.Errorf("%w: word-slice payload with plen %d", ErrCorrupt, plen)
+		}
+	case KindRef:
+		if plen != 4 {
+			return 0, fmt.Errorf("%w: ref payload with plen %d", ErrCorrupt, plen)
+		}
+	}
+	return plen, nil
+}
+
+// decodePayload fills m's payload field from body (length already validated
+// against the kind). Slice payloads alias or copy via the provided arena
+// allocators; pass nil allocators to alias body directly (DecodeMessage).
+func decodePayload(m *Message, body []byte) {
+	switch m.Kind {
+	case KindInt64:
+		m.I64 = int64(binary.LittleEndian.Uint64(body))
+	case KindUint64:
+		m.U64 = binary.LittleEndian.Uint64(body)
+	case KindInt64Slice:
+		n := len(body) / 8
+		if cap(m.I64s) < n {
+			m.I64s = make([]int64, n)
+		}
+		m.I64s = m.I64s[:n]
+		for i := range m.I64s {
+			m.I64s[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+	case KindUint64Slice:
+		n := len(body) / 8
+		if cap(m.U64s) < n {
+			m.U64s = make([]uint64, n)
+		}
+		m.U64s = m.U64s[:n]
+		for i := range m.U64s {
+			m.U64s[i] = binary.LittleEndian.Uint64(body[8*i:])
+		}
+	case KindBytes:
+		if cap(m.Bytes) < len(body) {
+			m.Bytes = make([]byte, len(body))
+		}
+		m.Bytes = m.Bytes[:len(body)]
+		copy(m.Bytes, body)
+	case KindRef:
+		m.Ref = binary.LittleEndian.Uint32(body)
+	}
+}
+
+// DecodeMessage decodes one frame from the front of b into m and returns
+// the remaining bytes. Slice payloads are decoded into m's existing
+// capacity when it suffices (so a reused Message decodes without
+// allocating). A short b returns ErrTruncated.
+func DecodeMessage(b []byte, m *Message) (rest []byte, err error) {
+	if len(b) < HeaderSize {
+		return b, fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(b), HeaderSize)
+	}
+	plen, err := parseHeader(b[:HeaderSize], m, 0)
+	if err != nil {
+		return b, err
+	}
+	if len(b) < HeaderSize+plen {
+		return b, fmt.Errorf("%w: %d payload bytes of %d", ErrTruncated, len(b)-HeaderSize, plen)
+	}
+	decodePayload(m, b[HeaderSize:HeaderSize+plen])
+	return b[HeaderSize+plen:], nil
+}
+
+// A Decoder reads frames from an io.Reader with reusable scratch: a fixed
+// header buffer, a growable payload buffer, and per-kind arenas the decoded
+// slice payloads point into. After the arenas reach their high-water mark,
+// ReadMessage performs zero allocations per frame.
+//
+// Decoded slice payloads alias the arenas and stay valid until the next
+// Release — in the engine, one Release per round, matching the synchronous
+// round contract that inbox payloads are consumed before the next Exchange.
+type Decoder struct {
+	// MaxPayload bounds accepted payload lengths; 0 means DefaultMaxPayload.
+	MaxPayload int
+
+	hdr     [HeaderSize]byte
+	body    []byte
+	i64s    []int64
+	u64s    []uint64
+	bytes   []byte
+	i64Off  int
+	u64Off  int
+	byteOff int
+}
+
+// Release resets the arenas. Every slice payload decoded since the previous
+// Release becomes invalid; capacity is retained.
+func (d *Decoder) Release() {
+	d.i64Off, d.u64Off, d.byteOff = 0, 0, 0
+}
+
+func growI64(arena []int64, off, n int) []int64 {
+	if off+n > cap(arena) {
+		next := make([]int64, max(2*cap(arena), off+n))
+		copy(next, arena[:off])
+		arena = next
+	}
+	return arena[:off+n]
+}
+
+func growU64(arena []uint64, off, n int) []uint64 {
+	if off+n > cap(arena) {
+		next := make([]uint64, max(2*cap(arena), off+n))
+		copy(next, arena[:off])
+		arena = next
+	}
+	return arena[:off+n]
+}
+
+func growBytes(arena []byte, off, n int) []byte {
+	if off+n > cap(arena) {
+		next := make([]byte, max(2*cap(arena), off+n))
+		copy(next, arena[:off])
+		arena = next
+	}
+	return arena[:off+n]
+}
+
+// ReadMessage reads exactly one frame from r into m. io.EOF at a frame
+// boundary is returned as io.EOF; EOF inside a frame is ErrTruncated.
+// Slice payloads point into the decoder's arenas (valid until Release).
+func (d *Decoder) ReadMessage(r io.Reader, m *Message) error {
+	if _, err := io.ReadFull(r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	plen, err := parseHeader(d.hdr[:], m, d.MaxPayload)
+	if err != nil {
+		return err
+	}
+	if cap(d.body) < plen {
+		d.body = make([]byte, plen)
+	}
+	body := d.body[:plen]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	switch m.Kind {
+	case KindInt64Slice:
+		n := plen / 8
+		d.i64s = growI64(d.i64s, d.i64Off, n)
+		dst := d.i64s[d.i64Off : d.i64Off+n]
+		for i := range dst {
+			dst[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+		m.I64s = dst
+		d.i64Off += n
+	case KindUint64Slice:
+		n := plen / 8
+		d.u64s = growU64(d.u64s, d.u64Off, n)
+		dst := d.u64s[d.u64Off : d.u64Off+n]
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint64(body[8*i:])
+		}
+		m.U64s = dst
+		d.u64Off += n
+	case KindBytes:
+		d.bytes = growBytes(d.bytes, d.byteOff, plen)
+		dst := d.bytes[d.byteOff : d.byteOff+plen]
+		copy(dst, body)
+		m.Bytes = dst
+		d.byteOff += plen
+	default:
+		decodePayload(m, body)
+	}
+	return nil
+}

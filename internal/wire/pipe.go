@@ -1,0 +1,78 @@
+//go:build unix
+
+package wire
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// pipeLink is one AF_UNIX stream socketpair: the engine writes encoded
+// frames into w and the delivery goroutine reads them back from r, so every
+// byte genuinely crosses the kernel boundary even on one host.
+type pipeLink struct {
+	name string
+	r, w *os.File
+}
+
+func (l *pipeLink) Name() string                { return l.name }
+func (l *pipeLink) Read(p []byte) (int, error)  { return l.r.Read(p) }
+func (l *pipeLink) Write(p []byte) (int, error) { return l.w.Write(p) }
+
+func (l *pipeLink) Close() error {
+	werr := l.w.Close()
+	rerr := l.r.Close()
+	if werr != nil {
+		return werr
+	}
+	return rerr
+}
+
+// Pipe is the socketpair transport: one AF_UNIX SOCK_STREAM pair per
+// machine slot. This is the single-host multi-process wire shape — the same
+// file-descriptor I/O a forked worker would use — with the delivery
+// endpoint living in-process.
+type Pipe struct {
+	links []Link
+}
+
+// NewPipe returns an unopened socketpair transport.
+func NewPipe() *Pipe { return &Pipe{} }
+
+// Name implements Transport.
+func (*Pipe) Name() string { return "pipe" }
+
+// Open implements Transport: one socketpair per slot.
+func (p *Pipe) Open(slots int) ([]Link, error) {
+	p.links = make([]Link, slots)
+	for slot := 0; slot < slots; slot++ {
+		fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM, 0)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("socketpair for %s: %w", LinkName(slot), err)
+		}
+		name := LinkName(slot)
+		p.links[slot] = &pipeLink{
+			name: name,
+			w:    os.NewFile(uintptr(fds[0]), "wire-pipe-w-"+name),
+			r:    os.NewFile(uintptr(fds[1]), "wire-pipe-r-"+name),
+		}
+	}
+	return p.links, nil
+}
+
+// Close implements Transport.
+func (p *Pipe) Close() error {
+	var first error
+	for _, l := range p.links {
+		if l == nil {
+			continue
+		}
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.links = nil
+	return first
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+)
+
+// tcpLink is one loopback TCP connection: the engine writes frames into the
+// dialed side and the delivery goroutine reads them from the accepted side.
+type tcpLink struct {
+	name string
+	w    net.Conn // dialed (engine writes)
+	r    net.Conn // accepted (delivery reads)
+}
+
+func (l *tcpLink) Name() string                { return l.name }
+func (l *tcpLink) Read(p []byte) (int, error)  { return l.r.Read(p) }
+func (l *tcpLink) Write(p []byte) (int, error) { return l.w.Write(p) }
+
+func (l *tcpLink) Close() error {
+	werr := l.w.Close()
+	rerr := l.r.Close()
+	if werr != nil {
+		return werr
+	}
+	return rerr
+}
+
+// TCP is the sockets transport: one TCP connection per machine slot through
+// a loopback listener. The frame stream is byte-identical to what would
+// cross a real network; Addr makes the transport's contract observable and
+// is the seam a future cross-host runner replaces with remote dialing.
+type TCP struct {
+	// Addr is the listen address; empty means "127.0.0.1:0" (an ephemeral
+	// loopback port).
+	Addr string
+
+	ln    net.Listener
+	links []Link
+}
+
+// NewTCP returns an unopened loopback TCP transport.
+func NewTCP() *TCP { return &TCP{} }
+
+// Name implements Transport.
+func (*TCP) Name() string { return "tcp" }
+
+// Open implements Transport: listens once, then dials and accepts one
+// connection pair per slot. Dials are sequential, so the k-th accepted
+// connection pairs with the k-th dial.
+func (t *TCP) Open(slots int) ([]Link, error) {
+	addr := t.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	t.ln = ln
+	t.links = make([]Link, slots)
+	for slot := 0; slot < slots; slot++ {
+		w, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("dial for %s: %w", LinkName(slot), err)
+		}
+		r, err := ln.Accept()
+		if err != nil {
+			w.Close()
+			t.Close()
+			return nil, fmt.Errorf("accept for %s: %w", LinkName(slot), err)
+		}
+		t.links[slot] = &tcpLink{name: LinkName(slot), w: w, r: r}
+	}
+	return t.links, nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	var first error
+	if t.ln != nil {
+		if err := t.ln.Close(); err != nil {
+			first = err
+		}
+		t.ln = nil
+	}
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.links = nil
+	return first
+}
