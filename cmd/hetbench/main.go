@@ -41,6 +41,16 @@
 //	                            # artifacts gain the "trace" field (phase
 //	                            # makespan shares, bottleneck machines);
 //	                            # the measured stats are unchanged
+//	hetbench -exp e14 -metrics m.json -traceout t.json
+//	                            # observability outputs (DESIGN.md §12), one
+//	                            # experiment at a time: the run-wide engine
+//	                            # metrics snapshot ('-' = stdout; -json
+//	                            # artifacts also embed it in the "metrics"
+//	                            # field) and the concatenated per-round trace
+//	                            # as Perfetto trace-event JSON (.jsonl =
+//	                            # streaming JSONL); -traceout implies -trace
+//	hetbench -exp table1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                            # pprof captures of the whole run
 package main
 
 import (
@@ -66,8 +76,20 @@ func run() int {
 		outFlag  = flag.String("out", ".", "output directory for -json artifacts")
 		listFlag = flag.Bool("list", false, "list experiment ids and exit")
 		model    = cliflags.Register(flag.CommandLine, " applied to every experiment cluster")
+		obs      = cliflags.RegisterObs(flag.CommandLine)
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetbench:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "hetbench:", err)
+		}
+	}()
 
 	if err := exp.SetProfile(model.Profile); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
@@ -85,7 +107,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		return 2
 	}
-	exp.SetTrace(model.Trace)
+	exp.SetTrace(obs.Tracing(model))
+	exp.SetMetrics(obs.Metrics != "")
 	all := exp.All()
 	if *listFlag {
 		for _, id := range exp.Order() {
@@ -109,12 +132,39 @@ func run() int {
 			ids = append(ids, id)
 		}
 	}
+	if (obs.Metrics != "" || obs.TraceOut != "") && len(ids) != 1 {
+		fmt.Fprintln(os.Stderr, "hetbench: -metrics and -traceout write one file; select exactly one experiment with -exp")
+		return 2
+	}
 	for _, id := range ids {
-		if *jsonFlag {
-			art, err := exp.Run(id, *seedFlag)
+		if *jsonFlag || obs.Tracing(model) || obs.Metrics != "" {
+			// Artifact path: -json, and any observability output (-trace,
+			// -traceout, -metrics) that needs the run-wide collection
+			// exp.RunFull does.
+			art, rounds, err := exp.RunFull(id, *seedFlag)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
 				return 1
+			}
+			if obs.TraceOut != "" {
+				if err := cliflags.WriteTraceFile(obs.TraceOut, rounds); err != nil {
+					fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
+					return 1
+				}
+			}
+			if obs.Metrics != "" {
+				if err := cliflags.WriteMetricsFile(obs.Metrics, art.Metrics); err != nil {
+					fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
+					return 1
+				}
+			}
+			if !*jsonFlag {
+				render(art.Table, *csvFlag)
+				if model.Trace && art.Trace != nil {
+					render(art.Trace.Table(fmt.Sprintf("%s — trace phase summary (%d clusters, %d rounds)",
+						id, art.Trace.Clusters, art.Trace.Rounds)), *csvFlag)
+				}
+				continue
 			}
 			path, err := art.WriteFile(*outFlag)
 			if err != nil {
@@ -137,21 +187,6 @@ func run() int {
 				line += fmt.Sprintf(" trace-phases=%d", len(art.Trace.Phases))
 			}
 			fmt.Println(line)
-			continue
-		}
-		if model.Trace {
-			// Text mode under -trace goes through exp.Run so the phase
-			// summary of the traced clusters rides along with the table.
-			art, err := exp.Run(id, *seedFlag)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "hetbench: %s: %v\n", id, err)
-				return 1
-			}
-			render(art.Table, *csvFlag)
-			if art.Trace != nil {
-				render(art.Trace.Table(fmt.Sprintf("%s — trace phase summary (%d clusters, %d rounds)",
-					id, art.Trace.Clusters, art.Trace.Rounds)), *csvFlag)
-			}
 			continue
 		}
 		table, err := all[id](*seedFlag)

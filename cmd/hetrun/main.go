@@ -36,6 +36,16 @@
 //	                                  # measured frame bytes, while every
 //	                                  # modeled number stays bit-identical
 //	                                  # (DESIGN.md §11)
+//	hetrun -alg mst -metrics m.json -traceout t.json
+//	                                  # observability outputs (DESIGN.md §12):
+//	                                  # the engine metrics snapshot as JSON
+//	                                  # ('-' = stdout) and the per-round trace
+//	                                  # as Perfetto-loadable trace-event JSON
+//	                                  # (.jsonl extension = streaming JSONL);
+//	                                  # -traceout implies -trace collection
+//	hetrun -alg mst -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                                  # pprof captures; inspect with
+//	                                  # go tool pprof cpu.pprof
 package main
 
 import (
@@ -67,8 +77,20 @@ func run() int {
 		k     = flag.Int("k", 4, "spanner parameter k")
 		eps   = flag.Float64("eps", 0.25, "approximation parameter ε")
 		model = cliflags.Register(flag.CommandLine, "")
+		obs   = cliflags.RegisterObs(flag.CommandLine)
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetrun:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "hetrun:", err)
+		}
+	}()
 
 	g, err := makeGraph(*input, *gen, *n, *m, *seed, *alg)
 	if err != nil {
@@ -99,8 +121,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "hetrun:", err)
 		return 2
 	}
-	if model.Trace {
+	if obs.Tracing(model) {
 		cfg.Trace = hetmpc.NewTrace()
+	}
+	if obs.Metrics != "" {
+		cfg.Metrics = hetmpc.NewMetrics()
 	}
 	c, err := hetmpc.NewCluster(cfg)
 	if err != nil {
@@ -147,7 +172,21 @@ func run() int {
 	}
 	fmt.Println()
 	if tr := c.Trace(); tr != nil {
-		printTrace(tr, st)
+		if model.Trace {
+			printTrace(tr, st)
+		}
+		if obs.TraceOut != "" {
+			if err := cliflags.WriteTraceFile(obs.TraceOut, tr.Rounds()); err != nil {
+				fmt.Fprintln(os.Stderr, "hetrun:", err)
+				return 1
+			}
+		}
+	}
+	if obs.Metrics != "" {
+		if err := cliflags.WriteMetricsFile(obs.Metrics, c.Metrics().Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "hetrun:", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -72,9 +72,12 @@
 package hetmpc
 
 import (
+	"io"
+
 	"hetmpc/internal/core"
 	"hetmpc/internal/fault"
 	"hetmpc/internal/graph"
+	"hetmpc/internal/metrics"
 	"hetmpc/internal/mpc"
 	"hetmpc/internal/sched"
 	"hetmpc/internal/sublinear"
@@ -288,6 +291,45 @@ func SummarizeTrace(rounds []TraceRound) *TraceSummary { return trace.Summarize(
 
 // TraceMachineName renders a trace machine id ("large", "small-3", "-").
 func TraceMachineName(id int) string { return trace.MachineName(id) }
+
+// WriteTraceJSONL streams a recorded timeline as schema-stamped JSONL (one
+// header line, one record per line) — the long-run export format; read it
+// back with ReadTraceJSONL. See DESIGN.md §12.
+func WriteTraceJSONL(w io.Writer, rounds []TraceRound) error { return trace.WriteJSONL(w, rounds) }
+
+// ReadTraceJSONL loads a timeline written by WriteTraceJSONL, refusing
+// streams whose schema version or format tag does not match.
+func ReadTraceJSONL(r io.Reader) ([]TraceRound, error) { return trace.ReadJSONL(r) }
+
+// WriteTracePerfetto renders a recorded timeline as Chrome trace-event JSON:
+// one track per machine (busy spans), a rounds track (per-round makespan
+// contributions), and instant markers for checkpoint barriers and crash
+// recoveries. The output loads directly in Perfetto (ui.perfetto.dev) and
+// chrome://tracing.
+func WriteTracePerfetto(w io.Writer, rounds []TraceRound) error {
+	return trace.WritePerfetto(w, rounds)
+}
+
+// --- Engine metrics (DESIGN.md §12) ---
+
+type (
+	// Metrics is the engine metrics registry (Config.Metrics): counters,
+	// gauges and fixed-bucket histograms with per-machine / per-link /
+	// per-phase labels, published by the Exchange engine, the wire
+	// transports, the adaptive scheduler and the recovery engine. Like the
+	// trace collector it only observes — a metered run's ClusterStats are
+	// bit-identical to the same run unmetered, and a nil registry is the
+	// zero-overhead path.
+	Metrics = metrics.Registry
+	// MetricSample is one instrument of a Metrics.Snapshot.
+	MetricSample = metrics.Sample
+)
+
+// NewMetrics returns an empty metrics registry for Config.Metrics. Counters
+// are cumulative for the registry's lifetime (never rebased by ResetStats),
+// so share one registry across clusters to aggregate, or use one per
+// cluster to keep them apart.
+func NewMetrics() *Metrics { return metrics.New() }
 
 // --- Fault injection and recovery (DESIGN.md §7) ---
 

@@ -4,9 +4,26 @@
 // and they drifted once already; both now register through Register, so the
 // option syntax cannot diverge again and a new cross-cutting flag lands in
 // both commands by construction.
+//
+// The observability flags (-metrics, -traceout, -cpuprofile, -memprofile)
+// follow the same rule through RegisterObs: one definition, every command.
+// The helpers WriteMetricsFile, WriteTraceFile and Obs.StartProfiles carry
+// the shared output conventions ("-" = stdout, trace format by extension)
+// so the commands cannot diverge on those either.
 package cliflags
 
-import "flag"
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"hetmpc/internal/metrics"
+	"hetmpc/internal/trace"
+)
 
 // Spec-syntax fragments, shared verbatim by every command's help text.
 const (
@@ -43,4 +60,127 @@ func Register(fs *flag.FlagSet, scope string) *Model {
 	fs.StringVar(&m.Transport, "transport", "", "Exchange transport"+scope+": "+TransportSyntax)
 	fs.BoolVar(&m.Trace, "trace", false, TraceHelp)
 	return m
+}
+
+// Observability flag help, shared verbatim (DESIGN.md §12).
+const (
+	// MetricsHelp describes -metrics: the engine metrics snapshot target.
+	MetricsHelp = "write the engine metrics snapshot (counters, gauges, histograms) as JSON to this file; '-' = stdout; metrics observe, they never change the measured stats"
+	// TraceOutHelp describes -traceout: the raw trace export target; the
+	// extension picks the format.
+	TraceOutHelp = "write the per-round trace to this file: .jsonl = streaming JSONL, anything else = Chrome trace-event JSON (load in Perfetto/chrome://tracing); implies -trace"
+	// CPUProfileHelp / MemProfileHelp describe the pprof capture flags.
+	CPUProfileHelp = "write a CPU profile to this file (inspect with go tool pprof)"
+	MemProfileHelp = "write a heap profile to this file at exit (inspect with go tool pprof)"
+)
+
+// Obs holds the parsed observability flags.
+type Obs struct {
+	Metrics    string
+	TraceOut   string
+	CPUProfile string
+	MemProfile string
+}
+
+// RegisterObs installs the shared observability flags on fs.
+func RegisterObs(fs *flag.FlagSet) *Obs {
+	o := &Obs{}
+	fs.StringVar(&o.Metrics, "metrics", "", MetricsHelp)
+	fs.StringVar(&o.TraceOut, "traceout", "", TraceOutHelp)
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", CPUProfileHelp)
+	fs.StringVar(&o.MemProfile, "memprofile", "", MemProfileHelp)
+	return o
+}
+
+// Tracing reports whether the run needs a trace collector: either the user
+// asked for the timeline summary (-trace) or for a trace export (-traceout).
+func (o *Obs) Tracing(model *Model) bool {
+	return model.Trace || o.TraceOut != ""
+}
+
+// StartProfiles begins the pprof captures o asks for and returns the stop
+// function to defer: it stops the CPU profile and writes the heap profile
+// (after a final GC, so the profile shows live objects rather than garbage).
+// With neither flag set it is a no-op pair.
+func (o *Obs) StartProfiles() (stop func() error, err error) {
+	var cpu *os.File
+	if o.CPUProfile != "" {
+		cpu, err = os.Create(o.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if o.MemProfile != "" {
+			f, err := os.Create(o.MemProfile)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
+
+// openOut resolves the "-" = stdout convention. The returned close func is a
+// no-op for stdout (the process owns that descriptor).
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// WriteMetricsFile writes a metrics snapshot as schema-stamped JSON to path
+// ("-" = stdout).
+func WriteMetricsFile(path string, samples []metrics.Sample) error {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteSamples(w, samples); err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
+}
+
+// WriteTraceFile writes a recorded timeline to path ("-" = stdout) in the
+// format the extension names: ".jsonl" streams the schema-stamped JSONL
+// record format (trace.WriteJSONL), anything else renders the Chrome
+// trace-event JSON that Perfetto and chrome://tracing load directly.
+func WriteTraceFile(path string, rounds []trace.Round) error {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = trace.WriteJSONL(w, rounds)
+	} else {
+		err = trace.WritePerfetto(w, rounds)
+	}
+	if err != nil {
+		closeFn()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return closeFn()
 }

@@ -10,9 +10,17 @@ import (
 	"sync"
 	"time"
 
+	"hetmpc/internal/metrics"
 	"hetmpc/internal/mpc"
 	"hetmpc/internal/trace"
 )
+
+// SchemaVersion is the version stamped into every BENCH artifact's "schema"
+// field. Readers (hettrace diff in particular) refuse artifacts whose schema
+// does not match theirs instead of mis-attributing renamed or re-grouped
+// fields. Bump it on any incompatible change to Artifact, ModelStats or
+// TraceStats; additive omitempty fields do not need a bump.
+const SchemaVersion = 1
 
 // ModelStats sums the in-model communication metrics of every cluster an
 // experiment ran (one experiment typically builds several clusters: the
@@ -101,8 +109,11 @@ func (ts *TraceStats) Table(title string) *Table {
 // ns, allocations). It is the schema of the BENCH_<exp>.json files that
 // track the perf trajectory across PRs.
 type Artifact struct {
-	Exp  string `json:"exp"`
-	Seed uint64 `json:"seed"`
+	// Schema is the artifact schema version (SchemaVersion); hettrace diff
+	// refuses to compare artifacts whose schemas differ from its own.
+	Schema int    `json:"schema"`
+	Exp    string `json:"exp"`
+	Seed   uint64 `json:"seed"`
 	// Profile is the cross-cutting machine-profile spec the clusters were
 	// built under (SetProfile / hetbench -profile); empty = the canonical
 	// uniform cluster. It distinguishes profiled artifacts from the
@@ -135,7 +146,13 @@ type Artifact struct {
 	// artifact's model numbers are bit-identical to the untraced baseline
 	// and the artifact name does not change.
 	Trace *TraceStats `json:"trace,omitempty"`
-	Table *Table      `json:"table"`
+	// Metrics is the sorted registry snapshot of the run, present under
+	// SetMetrics (hetbench -metrics): one fresh registry is shared by every
+	// cluster of the run, so the counters are the experiment-wide totals.
+	// Like tracing, metrics observe without perturbing — the model numbers
+	// and the artifact name are unchanged.
+	Metrics []metrics.Sample `json:"metrics,omitempty"`
+	Table   *Table           `json:"table"`
 }
 
 // tracker collects the clusters built through newHet/newSub while a Run is
@@ -181,12 +198,27 @@ func trackOverrides(profile, faults, placement, transport bool) {
 // Run executes one experiment by id and wraps its table in an Artifact with
 // model and host metrics attached.
 func Run(id string, seed uint64) (*Artifact, error) {
+	a, _, err := RunFull(id, seed)
+	return a, err
+}
+
+// RunFull is Run plus the raw per-round trace: the concatenated trace
+// records of every traced cluster, in build order — the timeline hetbench
+// -traceout streams to JSONL or renders as a Perfetto file. Empty when no
+// cluster carried a collector (run under SetTrace to trace everything).
+func RunFull(id string, seed uint64) (*Artifact, []trace.Round, error) {
 	fn := All()[id]
 	if fn == nil {
-		return nil, fmt.Errorf("exp: unknown experiment %q", id)
+		return nil, nil, fmt.Errorf("exp: unknown experiment %q", id)
 	}
 	runMu.Lock()
 	defer runMu.Unlock()
+	if metricsOn {
+		// One fresh registry per run: counters are cumulative across clusters
+		// (never rebased), so reuse across runs would double-count.
+		metricsReg = metrics.New()
+		defer func() { metricsReg = nil }()
+	}
 	tracker.Lock()
 	tracker.active = true
 	tracker.clusters = tracker.clusters[:0]
@@ -209,10 +241,11 @@ func Run(id string, seed uint64) (*Artifact, error) {
 	tracker.active = false
 	tracker.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	a := &Artifact{
+		Schema:     SchemaVersion,
 		Exp:        id,
 		Seed:       seed,
 		GoVersion:  runtime.Version(),
@@ -272,7 +305,10 @@ func Run(id string, seed uint64) (*Artifact, error) {
 			Phases:   s.Phases,
 		}
 	}
-	return a, nil
+	if metricsOn {
+		a.Metrics = metricsReg.Snapshot()
+	}
+	return a, rounds, nil
 }
 
 // WriteFile writes the artifact as BENCH_<exp>.json under dir (created if

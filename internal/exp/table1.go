@@ -6,6 +6,7 @@ import (
 	"hetmpc/internal/core"
 	"hetmpc/internal/fault"
 	"hetmpc/internal/graph"
+	"hetmpc/internal/metrics"
 	"hetmpc/internal/mpc"
 	"hetmpc/internal/sched"
 	"hetmpc/internal/sublinear"
@@ -76,6 +77,11 @@ func build(cfg mpc.Config) (*mpc.Cluster, error) {
 		// and bit-identical model numbers, so no tag is recorded.
 		cfg.Trace = trace.New()
 	}
+	if metricsReg != nil && cfg.Metrics == nil {
+		// Metrics share the trace contract — observation only — and the one
+		// run-wide registry, so the snapshot sums every cluster of the run.
+		cfg.Metrics = metricsReg
+	}
 	c, err := mpc.New(cfg)
 	if err == nil {
 		trackCluster(c)
@@ -102,6 +108,22 @@ var transportSpec string
 
 // traceOn is the cross-cutting trace toggle; see SetTrace.
 var traceOn bool
+
+// metricsOn is the cross-cutting metrics toggle; see SetMetrics. metricsReg
+// is the in-flight run's registry, created by RunFull and cleared when the
+// run finishes (nil outside a metered run).
+var (
+	metricsOn  bool
+	metricsReg *metrics.Registry
+)
+
+// SetMetrics attaches a fresh metrics registry to every cluster of each
+// subsequently started Run (hetbench -metrics): the artifact gains the
+// sorted registry snapshot in its "metrics" field — the engine-level
+// counters, gauges and histograms of DESIGN.md §12. Metrics observe without
+// perturbing (the Config.Metrics contract), so metered artifacts keep the
+// baseline name and bit-identical model numbers.
+func SetMetrics(on bool) { metricsOn = on }
 
 // SetTrace attaches a fresh trace collector to every subsequently built
 // experiment cluster that does not pin its own (hetbench -trace): the

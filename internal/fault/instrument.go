@@ -1,0 +1,35 @@
+package fault
+
+import "hetmpc/internal/metrics"
+
+// instrumentedCk wraps a Checkpointer with replication-work counters.
+type instrumentedCk struct {
+	ck            Checkpointer
+	snapshots     *metrics.Counter
+	snapshotWords *metrics.Counter
+	restores      *metrics.Counter
+}
+
+// Instrument wraps ck so every Snapshot and Restore the recovery engine
+// performs is counted: snapshots and their accounted word sizes (the
+// checkpoint-barrier replication work) and restores (the crash round trips).
+// Nil counters are inert, and a nil ck stays nil, so the wrapper is safe on
+// every path the engine takes.
+func Instrument(ck Checkpointer, snapshots, snapshotWords, restores *metrics.Counter) Checkpointer {
+	if ck == nil {
+		return nil
+	}
+	return &instrumentedCk{ck: ck, snapshots: snapshots, snapshotWords: snapshotWords, restores: restores}
+}
+
+func (w *instrumentedCk) Snapshot() (any, int) {
+	data, words := w.ck.Snapshot()
+	w.snapshots.Inc()
+	w.snapshotWords.Add(int64(words))
+	return data, words
+}
+
+func (w *instrumentedCk) Restore(data any) {
+	w.restores.Inc()
+	w.ck.Restore(data)
+}

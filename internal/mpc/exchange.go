@@ -170,6 +170,9 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 				Victim:   trace.None,
 			})
 		}
+		if c.mx != nil {
+			c.observeSilentRound()
+		}
 		c.postRoundFaults()
 		return ins, nil, nil
 	}
@@ -338,6 +341,11 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 		// Record before the send counters are zeroed below; the receive
 		// counters stay valid until the deferred reset.
 		c.recordExchange(totalMsgs, totalWords, roundMax, argSlot, c.stats.SpeculationWords-specBefore)
+	}
+	if c.mx != nil {
+		// Same barrier point, same live counters: the published metrics
+		// reconcile exactly with Stats and the trace record.
+		c.observeExchange(totalMsgs, totalWords, roundMax, c.stats.SpeculationWords-specBefore)
 	}
 	if c.est != nil {
 		// Adaptive placement's snapshot-and-switch: observe the round from

@@ -1,0 +1,174 @@
+package mpc
+
+import (
+	"hetmpc/internal/metrics"
+	"hetmpc/internal/trace"
+)
+
+// clusterMetrics is the engine's prebound instrument set (Config.Metrics,
+// DESIGN.md §12). Every hot-path instrument is resolved once at New, so a
+// metered round performs no registry lookups except for the per-phase words
+// counter, whose label is only known at the round barrier. A nil
+// *clusterMetrics — the Config.Metrics == nil path — is never touched: every
+// hook site is guarded by `if c.mx != nil`, so the unmetered engine executes
+// exactly the pre-metrics instruction stream (the same contract as the nil
+// trace collector, pinned by the top-level golden and AllocsPerRun tests).
+//
+// Conservation by construction: the per-machine mpc_send_words_total
+// counters are fed from the same live counters as Stats.TotalWords, so their
+// sum equals it exactly; the per-link wire_link_write_bytes_total counters
+// (wire.InstrumentLink) sum to Stats.WireBytes on successful runs. Both laws
+// are asserted in tests.
+//
+// Counters are cumulative for the registry's lifetime and are deliberately
+// NOT rebased by ResetStats: one registry may serve several clusters (an
+// experiment sweep), and a reset of one cluster must not erase the others'
+// history. Reconciliation against Stats therefore uses a fresh cluster (or
+// snapshot deltas).
+type clusterMetrics struct {
+	reg *metrics.Registry
+
+	rounds    *metrics.Counter   // mpc_rounds_total: exchange rounds (incl. silent)
+	silent    *metrics.Counter   // mpc_silent_rounds_total: barrier-only rounds
+	messages  *metrics.Counter   // mpc_messages_total
+	words     *metrics.Counter   // mpc_words_total: == Stats.TotalWords growth
+	specWords *metrics.Counter   // mpc_speculation_words_total
+	makespan  *metrics.Gauge     // mpc_makespan: live Stats.Makespan
+	roundTime *metrics.Histogram // mpc_round_time: latency + busiest machine, per contribution
+	inbox     *metrics.Histogram // mpc_inbox_messages: per machine per round, delivered messages
+
+	// Per-machine dimensions, indexed by slot (0 = large, 1+i = small i).
+	sendWords []*metrics.Counter // mpc_send_words_total{machine}
+	recvWords []*metrics.Counter // mpc_recv_words_total{machine}
+	busyTime  []*metrics.Gauge   // mpc_busy_time{machine}: cumulative simulated busy time
+
+	// Fault engine (recover.go).
+	checkpoints      *metrics.Counter   // fault_checkpoints_total
+	replicationWords *metrics.Counter   // fault_replication_words_total
+	recoveryRounds   *metrics.Counter   // fault_recovery_rounds_total
+	replayRounds     *metrics.Counter   // fault_replay_rounds_total: replayed work rounds
+	crashes          []*metrics.Counter // fault_crashes_total{machine}, per small machine
+
+	// Wire transport (wirenet.go); per destination slot.
+	encodeNs *metrics.Counter   // wire_encode_ns_total: serial frame-encode time
+	decodeNs []*metrics.Counter // wire_decode_ns_total{link}: per-reader decode time
+	frames   []*metrics.Counter // wire_link_frames_total{link}: messages framed per link
+}
+
+// newClusterMetrics prebinds the engine instruments (nil reg = nil, the
+// zero-overhead path).
+func newClusterMetrics(reg *metrics.Registry, k int) *clusterMetrics {
+	if reg == nil {
+		return nil
+	}
+	mx := &clusterMetrics{
+		reg:              reg,
+		rounds:           reg.Counter("mpc_rounds_total"),
+		silent:           reg.Counter("mpc_silent_rounds_total"),
+		messages:         reg.Counter("mpc_messages_total"),
+		words:            reg.Counter("mpc_words_total"),
+		specWords:        reg.Counter("mpc_speculation_words_total"),
+		makespan:         reg.Gauge("mpc_makespan"),
+		roundTime:        reg.Histogram("mpc_round_time", metrics.ExpBuckets(1, 2, 20)),
+		inbox:            reg.Histogram("mpc_inbox_messages", metrics.ExpBuckets(1, 4, 12)),
+		sendWords:        make([]*metrics.Counter, k+1),
+		recvWords:        make([]*metrics.Counter, k+1),
+		busyTime:         make([]*metrics.Gauge, k+1),
+		checkpoints:      reg.Counter("fault_checkpoints_total"),
+		replicationWords: reg.Counter("fault_replication_words_total"),
+		recoveryRounds:   reg.Counter("fault_recovery_rounds_total"),
+		replayRounds:     reg.Counter("fault_replay_rounds_total"),
+		crashes:          make([]*metrics.Counter, k),
+		encodeNs:         reg.Counter("wire_encode_ns_total"),
+		decodeNs:         make([]*metrics.Counter, k+1),
+		frames:           make([]*metrics.Counter, k+1),
+	}
+	for slot := 0; slot <= k; slot++ {
+		name := trace.MachineName(slotMachine(slot))
+		mx.sendWords[slot] = reg.Counter("mpc_send_words_total", "machine", name)
+		mx.recvWords[slot] = reg.Counter("mpc_recv_words_total", "machine", name)
+		mx.busyTime[slot] = reg.Gauge("mpc_busy_time", "machine", name)
+		mx.decodeNs[slot] = reg.Counter("wire_decode_ns_total", "link", name)
+		mx.frames[slot] = reg.Counter("wire_link_frames_total", "link", name)
+	}
+	for i := 0; i < k; i++ {
+		mx.crashes[i] = reg.Counter("fault_crashes_total", "machine", trace.MachineName(i))
+	}
+	return mx
+}
+
+// Metrics returns the cluster's metrics registry (Config.Metrics), nil when
+// the run is unmetered.
+func (c *Cluster) Metrics() *metrics.Registry {
+	if c.mx == nil {
+		return nil
+	}
+	return c.mx.reg
+}
+
+// observeSilentRound records a barrier-only round (no sender spoke).
+func (c *Cluster) observeSilentRound() {
+	mx := c.mx
+	mx.rounds.Inc()
+	mx.silent.Inc()
+	mx.roundTime.Observe(c.latency)
+	mx.makespan.Set(c.stats.Makespan)
+}
+
+// observeExchange records the round just charged, from the same live
+// counters the stats pass and the trace record read (it runs at the serial
+// round barrier, before the send counters are zeroed; the receive counters
+// stay valid until the deferred reset). specDelta is the round's new
+// speculation words.
+func (c *Cluster) observeExchange(totalMsgs int, totalWords int64, roundMax float64, specDelta int64) {
+	mx := c.mx
+	sc := c.exch
+	mx.rounds.Inc()
+	mx.messages.Add(int64(totalMsgs))
+	mx.words.Add(totalWords)
+	mx.specWords.Add(specDelta)
+	mx.roundTime.Observe(c.latency + roundMax)
+	mx.makespan.Set(c.stats.Makespan)
+	for slot := 0; slot <= c.k; slot++ {
+		if w := sc.sendWords[slot]; w > 0 {
+			mx.sendWords[slot].Add(int64(w))
+		}
+		if w := sc.recvWords[slot]; w > 0 {
+			mx.recvWords[slot].Add(int64(w))
+		}
+		if n := sc.recvCount[slot]; n > 0 {
+			mx.inbox.Observe(float64(n))
+		}
+		mx.busyTime[slot].Set(c.busy[slot])
+	}
+	// The per-phase words dimension attributes traffic to the innermost open
+	// span; with no trace collector installed every round lands on the ""
+	// phase (the span stack lives on the collector). This is the one lookup
+	// the hot path performs — the phase set is small and the label dynamic.
+	phase := ""
+	if c.tr != nil {
+		phase = c.tr.Phase()
+	}
+	mx.reg.Counter("mpc_phase_words_total", "phase", phase).Add(totalWords)
+	mx.reg.Counter("mpc_phase_rounds_total", "phase", phase).Inc()
+}
+
+// observeCheckpoint records a checkpoint barrier's replication work.
+func (c *Cluster) observeCheckpoint(barrierWords int64, roundMax float64) {
+	mx := c.mx
+	mx.checkpoints.Inc()
+	mx.replicationWords.Add(barrierWords)
+	mx.roundTime.Observe(c.latency + roundMax)
+	mx.makespan.Set(c.stats.Makespan)
+}
+
+// observeRecovery records one victim's crash recovery: the extra barrier
+// rounds, the replayed work and the restore transfer.
+func (c *Cluster) observeRecovery(victim, rec, replayWork, restoreWords int) {
+	mx := c.mx
+	mx.crashes[victim].Inc()
+	mx.recoveryRounds.Add(int64(rec))
+	mx.replayRounds.Add(int64(replayWork))
+	mx.replicationWords.Add(int64(restoreWords))
+	mx.makespan.Set(c.stats.Makespan)
+}

@@ -30,6 +30,7 @@ import (
 	"math/rand/v2"
 
 	"hetmpc/internal/fault"
+	"hetmpc/internal/metrics"
 	"hetmpc/internal/sched"
 	"hetmpc/internal/trace"
 	"hetmpc/internal/wire"
@@ -118,6 +119,16 @@ type Config struct {
 	// stays above delivery. A transport belongs to exactly one cluster;
 	// release it with Cluster.Close.
 	Transport wire.Transport
+
+	// Metrics, when non-nil, publishes the engine's aggregate instruments
+	// (DESIGN.md §12): per-machine word counters, round-time and inbox-size
+	// histograms, per-link wire counters, fault and placement-estimator
+	// activity. Like Trace, metrics observe and never perturb — a metered
+	// run's Stats are bit-identical to the same run unmetered — and nil is
+	// the zero-overhead path (no atomics, no allocations). One registry may
+	// be shared across clusters; counters accumulate for the registry's
+	// lifetime and are not rebased by ResetStats.
+	Metrics *metrics.Registry
 
 	// Trace, when non-nil, collects the structured per-round timeline
 	// (DESIGN.md §9): one record per makespan contribution — exchange
@@ -223,6 +234,10 @@ type Cluster struct {
 	// internal/trace).
 	tr *trace.Collector
 
+	// Prebound metrics instruments (nil = unmetered; see Config.Metrics and
+	// metrics.go).
+	mx *clusterMetrics
+
 	// Transport-backed delivery state (nil = shared-memory delivery; see
 	// wirenet.go and DESIGN.md §11).
 	wn *wireNet
@@ -282,6 +297,7 @@ func New(cfg Config) (*Cluster, error) {
 		largeRng: xrand.New(xrand.Split(cfg.Seed, 0)),
 		exch:     newExchScratch(k),
 		tr:       cfg.Trace,
+		mx:       newClusterMetrics(cfg.Metrics, k),
 	}
 	for i := range c.rngs {
 		c.rngs[i] = xrand.New(xrand.Split(cfg.Seed, uint64(i)+1))

@@ -81,6 +81,9 @@ func (c *Cluster) applyPlacement(pol sched.Policy) error {
 			return fmt.Errorf("mpc: placement %s: %w", pol.Name(), err)
 		}
 		c.est = est
+		if c.mx != nil {
+			c.est.SetMetrics(c.mx.reg)
+		}
 		c.estSend = make([]int, c.k+1)
 		c.estRecv = make([]int, c.k+1)
 		c.estBusy = make([]float64, c.k+1)

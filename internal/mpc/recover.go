@@ -137,6 +137,16 @@ func (c *Cluster) SetCheckpointer(i int, ck fault.Checkpointer) {
 	if c.ft == nil || i < 0 || i >= c.k {
 		return
 	}
+	if c.mx != nil && ck != nil {
+		// A metered cluster counts the recovery engine's snapshot/restore
+		// round trips per machine. Wrapping is transparent: the engine sees
+		// the same Snapshot/Restore results, so the run is bit-identical.
+		name := trace.MachineName(i)
+		ck = fault.Instrument(ck,
+			c.mx.reg.Counter("fault_snapshots_total", "machine", name),
+			c.mx.reg.Counter("fault_snapshot_words_total", "machine", name),
+			c.mx.reg.Counter("fault_restores_total", "machine", name))
+	}
 	c.ft.cks[i] = ck
 }
 
@@ -220,6 +230,9 @@ func (c *Cluster) checkpointBarrier(r int) {
 		}
 	}
 	c.stats.Makespan += c.latency + roundMax
+	if c.mx != nil {
+		c.observeCheckpoint(barrierWords, roundMax)
+	}
 	if c.tr != nil {
 		c.tr.Add(trace.Round{
 			Round:            r,
@@ -323,6 +336,9 @@ func (c *Cluster) recoverCrashes(r int) {
 		c.stats.RecoveryRounds += rec
 		c.stats.Makespan += float64(rec)*c.latency + t
 		ft.downUntil[i] = r + ft.restart[i]
+		if c.mx != nil {
+			c.observeRecovery(i, rec, replayWork, words)
+		}
 		if c.tr != nil {
 			// One record per victim: each victim's recovery is a distinct
 			// makespan contribution, so conservation over the trace stays

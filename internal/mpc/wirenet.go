@@ -3,6 +3,7 @@ package mpc
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"hetmpc/internal/wire"
 )
@@ -38,6 +39,11 @@ type wireNet struct {
 	rerr   []error         // per slot, reader error of the round
 	bytes  []int64         // per slot, cumulative bytes written
 	broken error           // sticky: first transport failure; later rounds fail fast
+
+	// mx mirrors the cluster's prebound instruments (nil = unmetered): the
+	// links are wrapped with wire.InstrumentLink at open, and deliverWire
+	// publishes frame counts and encode/decode wall-clock time.
+	mx *clusterMetrics
 }
 
 // active reports whether delivery goes over links (false before Open and
@@ -62,6 +68,11 @@ func (wn *wireNet) open(slots int) error {
 	if len(links) != slots {
 		wn.broken = fmt.Errorf("mpc: transport %q opened %d links, want %d: %w", wn.tr.Name(), len(links), slots, wire.ErrTransport)
 		return wn.broken
+	}
+	if wn.mx != nil {
+		for i := range links {
+			links[i] = wire.InstrumentLink(links[i], wn.mx.reg)
+		}
 	}
 	wn.links = links
 	wn.bufs = make([][]byte, slots)
@@ -103,6 +114,10 @@ func (c *Cluster) deliverWire(flat []Msg) (int64, error) {
 		wn.refs[slot] = wn.refs[slot][:0]
 		wn.werr[slot], wn.rerr[slot] = nil, nil
 	}
+	var encStart time.Time
+	if wn.mx != nil {
+		encStart = time.Now()
+	}
 	var fm wire.Message
 	for s := range plans {
 		p := &plans[s]
@@ -128,6 +143,17 @@ func (c *Cluster) deliverWire(flat []Msg) (int64, error) {
 		}
 	}
 
+	if wn.mx != nil {
+		wn.mx.encodeNs.Add(time.Since(encStart).Nanoseconds())
+		// Frames per destination link: exactly the messages the layout phase
+		// counted for that slot (one frame per message on the wire).
+		for slot := range wn.links {
+			if n := sc.recvCount[slot]; n > 0 {
+				wn.mx.frames[slot].Add(int64(n))
+			}
+		}
+	}
+
 	// Readers first (writes into a link block once its kernel buffer fills,
 	// so the drain must already be running), one goroutine per receiving
 	// slot, each decoding its stream sequentially into its flat window.
@@ -140,6 +166,13 @@ func (c *Cluster) deliverWire(flat []Msg) (int64, error) {
 		wg.Add(1)
 		go func(slot, n int) {
 			defer wg.Done()
+			if wn.mx != nil {
+				// Decode time is the reader's whole drain, including time
+				// blocked waiting for bytes; the counter is atomic, so each
+				// reader goroutine publishes its own link safely.
+				t0 := time.Now()
+				defer func() { wn.mx.decodeNs[slot].Add(time.Since(t0).Nanoseconds()) }()
+			}
 			link := wn.links[slot]
 			dec := wn.decs[slot]
 			dec.Release()
@@ -201,7 +234,7 @@ func (c *Cluster) applyTransport(tr wire.Transport) {
 	if tr == nil {
 		return
 	}
-	c.wn = &wireNet{tr: tr}
+	c.wn = &wireNet{tr: tr, mx: c.mx}
 }
 
 // Transport returns the cluster's transport, nil for the in-process

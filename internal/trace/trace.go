@@ -95,6 +95,14 @@ func MachineName(id int) string {
 	}
 }
 
+// Sink receives each Round as the engine records it — the streaming path
+// for long runs (JSONLSink writes them straight to disk). Record runs
+// synchronously on the round barrier, so implementations must not block on
+// anything the round depends on.
+type Sink interface {
+	Record(Round)
+}
+
 // Collector accumulates the round timeline and the current phase-span
 // stack. It is not safe for concurrent use — the model is synchronous
 // rounds, and all engine recording runs on the round barrier.
@@ -102,6 +110,8 @@ type Collector struct {
 	rounds []Round
 	stack  []string
 	path   string // cached "/"-join of stack
+	sink   Sink
+	retain bool // buffer rounds even when a sink is set
 }
 
 // New returns an empty collector, ready for Config.Trace.
@@ -143,8 +153,27 @@ func (t *Collector) Truncate(d int) {
 // Phase returns the current "/"-joined span path ("" when no span is open).
 func (t *Collector) Phase() string { return t.path }
 
-// Add appends one record to the timeline.
-func (t *Collector) Add(r Round) { t.rounds = append(t.rounds, r) }
+// SetSink streams every subsequent record to s as it is added. With
+// retain=false the collector stops buffering — the long-run mode where the
+// timeline would not fit in memory (Rounds returns only what was buffered
+// before); retain=true keeps the in-memory timeline alongside the stream.
+// A nil s restores buffer-only collection.
+func (t *Collector) SetSink(s Sink, retain bool) {
+	t.sink = s
+	t.retain = retain
+}
+
+// Add appends one record to the timeline (and streams it to the sink, when
+// one is set).
+func (t *Collector) Add(r Round) {
+	if t.sink != nil {
+		t.sink.Record(r)
+		if !t.retain {
+			return
+		}
+	}
+	t.rounds = append(t.rounds, r)
+}
 
 // Rounds returns the recorded timeline (the collector's backing slice;
 // callers must not mutate it).

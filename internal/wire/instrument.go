@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"time"
+
+	"hetmpc/internal/metrics"
+)
+
+// instrumentedLink wraps a Link so every Read and Write publishes the moved
+// bytes and elapsed wall-clock nanoseconds. The counters are atomic, so the
+// engine's per-destination reader goroutines and the serial writer can share
+// one registry safely.
+type instrumentedLink struct {
+	Link
+	readBytes  *metrics.Counter
+	writeBytes *metrics.Counter
+	readNs     *metrics.Counter
+	writeNs    *metrics.Counter
+}
+
+// InstrumentLink wraps l with per-link byte and time counters registered
+// under the link's name (wire_link_read_bytes_total, _write_bytes_total,
+// _read_ns_total, _write_ns_total; label link=<Name>). A nil registry or
+// nil link returns l unchanged — the zero-overhead path stays untouched.
+//
+// The write-byte counters carry the engine's conservation law: on a
+// successful run the sum over links of wire_link_write_bytes_total equals
+// Stats.WireBytes exactly (every encoded frame buffer is written through
+// its destination link exactly once).
+func InstrumentLink(l Link, reg *metrics.Registry) Link {
+	if reg == nil || l == nil {
+		return l
+	}
+	name := l.Name()
+	return &instrumentedLink{
+		Link:       l,
+		readBytes:  reg.Counter("wire_link_read_bytes_total", "link", name),
+		writeBytes: reg.Counter("wire_link_write_bytes_total", "link", name),
+		readNs:     reg.Counter("wire_link_read_ns_total", "link", name),
+		writeNs:    reg.Counter("wire_link_write_ns_total", "link", name),
+	}
+}
+
+func (il *instrumentedLink) Read(p []byte) (int, error) {
+	t0 := time.Now()
+	n, err := il.Link.Read(p)
+	il.readNs.Add(time.Since(t0).Nanoseconds())
+	il.readBytes.Add(int64(n))
+	return n, err
+}
+
+func (il *instrumentedLink) Write(p []byte) (int, error) {
+	t0 := time.Now()
+	n, err := il.Link.Write(p)
+	il.writeNs.Add(time.Since(t0).Nanoseconds())
+	il.writeBytes.Add(int64(n))
+	return n, err
+}

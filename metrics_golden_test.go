@@ -1,0 +1,68 @@
+package hetmpc_test
+
+import (
+	"runtime"
+	"testing"
+
+	"hetmpc"
+)
+
+// TestMetricsObservationalGoldenAcrossGOMAXPROCS pins the Config.Metrics
+// analogue of the nil-collector trace guarantee at the facade level: a full
+// MST run — straggler profile, checkpointed fault plan, seed-derived crashes
+// — produces bit-identical ClusterStats with and without a metrics registry
+// attached, at GOMAXPROCS 1, 4 and 8, and every run reproduces the golden
+// MST weight. The attached registry must also satisfy the word-conservation
+// law the engine promises: the run-wide word counter equals
+// Stats.TotalWords exactly.
+func TestMetricsObservationalGoldenAcrossGOMAXPROCS(t *testing.T) {
+	g := hetmpc.ConnectedGNM(512, 4096, 7, true)
+	plan := &hetmpc.FaultPlan{
+		Interval:  4,
+		CrashRate: 0.003,
+		Crashes:   []hetmpc.FaultCrash{{Round: 10, Machine: 2, RestartAfter: 1}},
+	}
+	run := func(reg *hetmpc.Metrics) hetmpc.ClusterStats {
+		t.Helper()
+		cfg := hetmpc.Config{N: 512, M: 4096, Seed: 7, Faults: plan, Metrics: reg}
+		cfg.Profile = hetmpc.StragglerProfile(cfg.DeriveK(), 2, 8)
+		c, err := hetmpc.NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := hetmpc.MST(c, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Weight != 153235 {
+			t.Fatalf("mst weight %d, want golden 153235", r.Weight)
+		}
+		return c.Stats()
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var golden hetmpc.ClusterStats
+	for i, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		reg := hetmpc.NewMetrics()
+		metered := run(reg)
+		plain := run(nil)
+		if metered != plain {
+			t.Fatalf("GOMAXPROCS=%d: metrics perturbed the run:\nmetered %+v\nplain   %+v", procs, metered, plain)
+		}
+		if i == 0 {
+			golden = metered
+		} else if metered != golden {
+			t.Fatalf("GOMAXPROCS=%d stats diverged from GOMAXPROCS=1:\n%+v\n%+v", procs, metered, golden)
+		}
+		// Conservation at the facade: the registry's run-wide word counter
+		// is exactly Stats.TotalWords (fresh registry, single cluster).
+		if got := reg.Counter("mpc_words_total").Value(); got != metered.TotalWords {
+			t.Fatalf("GOMAXPROCS=%d: mpc_words_total = %d, Stats.TotalWords = %d", procs, got, metered.TotalWords)
+		}
+	}
+	if golden.Crashes == 0 || golden.Checkpoints == 0 {
+		t.Fatalf("fault plan exercised no recovery: %+v", golden)
+	}
+}
