@@ -100,7 +100,7 @@ func loadArtifact(path string) (*exp.Artifact, error) {
 	}
 	var a exp.Artifact
 	if err := json.Unmarshal(data, &a); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if a.Schema != exp.SchemaVersion {
 		return nil, fmt.Errorf("%s: artifact schema %d, this hettrace speaks %d — regenerate with the matching hetbench",
@@ -123,7 +123,7 @@ func summaryOf(path string) (*trace.Summary, error) {
 	// Not a trace stream; try the artifact shape.
 	a, aerr := loadArtifact(path)
 	if aerr != nil {
-		return nil, fmt.Errorf("%s: neither a trace stream (%v) nor a readable artifact (%v)", path, jerr, aerr)
+		return nil, fmt.Errorf("%s: neither a trace stream (%w) nor a readable artifact (%w)", path, jerr, aerr)
 	}
 	if a.Trace == nil {
 		return nil, fmt.Errorf("%s: artifact has no trace summary (regenerate under hetbench -trace)", path)

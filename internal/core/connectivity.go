@@ -106,6 +106,7 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 		}
 		return nil
 	}); err != nil {
+		//hetlint:span error path: the run aborts and no Stats or trace records are consumed from the leaked sketch span
 		return nil, err
 	}
 	// The combine merges in place: AggregateByKey passes ownership of both
@@ -119,6 +120,7 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 	}
 	_, atLarge, err := prims.AggregateByKey(c, items, skWords, combine, true)
 	if err != nil {
+		//hetlint:span error path: the run aborts and no Stats or trace records are consumed from the leaked sketch span
 		return nil, err
 	}
 	ssp.End()

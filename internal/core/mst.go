@@ -108,10 +108,12 @@ func MSTWithOptions(c *mpc.Cluster, g *graph.Graph, opts MSTOptions) (*MSTResult
 			}
 			return nil
 		}); err != nil {
+			//hetlint:span error path: the run aborts and no Stats or trace records are consumed from the leaked contract span
 			return nil, err
 		}
 		arr, err := prims.Arrange(c, directed, dirSortKey, cEdgeWords)
 		if err != nil {
+			//hetlint:span error path: the run aborts and no Stats or trace records are consumed from the leaked contract span
 			return nil, err
 		}
 		active := len(arr.Keys)

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// parentMap maps every node of a file to its parent, for the analyzers that
+// need to classify a node by its enclosing statements (spanpair's defer
+// detection, zeroalloc's cold-path and arena-guard exemptions).
+type parentMap map[ast.Node]ast.Node
+
+func newParents(f *ast.File) parentMap {
+	pm := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// funcBodies returns every function body of the file paired with its doc
+// comment (nil for FuncLits): the per-function analysis units. Nested
+// FuncLit bodies appear as their own entries.
+type funcBody struct {
+	decl *ast.FuncDecl // nil for a FuncLit
+	lit  *ast.FuncLit  // nil for a FuncDecl
+	body *ast.BlockStmt
+}
+
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{decl: fn, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{lit: fn, body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks the statements of body without descending into
+// nested FuncLits (their bodies are separate analysis units).
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == body || n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// calleeFunc resolves a call's callee to its types.Func (package-level
+// function or method), or nil for builtins, conversions and function
+// values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name
+// (not a method).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// builtinName returns the name of the builtin a call invokes ("" when the
+// callee is not a builtin).
+func builtinName(pass *Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := pass.ObjectOf(id).(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// isSentinel reports whether e denotes a package-level error variable whose
+// name follows the ErrX sentinel convention (mpc.ErrNeedsLarge,
+// wire.ErrTransport, ...).
+func isSentinel(pass *Pass, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	name := v.Name()
+	return strings.HasPrefix(name, "Err") && len(name) > 3 &&
+		name[3] >= 'A' && name[3] <= 'Z' && implementsError(v.Type())
+}
+
+// exprString renders e compactly for structural comparison (the
+// assigned-back-to-itself append test) and messages.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// returnsBefore collects the ReturnStmts of body positioned in (after,
+// before), skipping nested FuncLits (their returns leave the lit, not this
+// function).
+func returnsBefore(body *ast.BlockStmt, after, before token.Pos) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	inspectShallow(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > after && r.Pos() < before {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetMap forbids ranging over a map in the deterministic-engine packages:
+// Go randomizes map iteration order, so any map range that feeds Stats,
+// trace records, rendered tables or message schedules is a bit-level
+// nondeterminism bug (the class the GOMAXPROCS golden sweeps catch only
+// when they get lucky). A range is allowed when the loop provably only
+// collects keys/values for a subsequent sort in the same function (append
+// into locals + a sort downstream — the sort/slices packages or any
+// Sort*-named helper — with order-insensitive integer counting permitted
+// alongside), or when a justified
+// //hetlint:sorted comment explains why the iteration order cannot reach
+// any observable output.
+var DetMap = &Analyzer{
+	Name:       "detmap",
+	Doc:        "forbid map iteration in engine packages unless it feeds a sort or carries //hetlint:sorted",
+	Key:        "sorted",
+	EngineOnly: true,
+	Run:        runDetMap,
+}
+
+func runDetMap(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, fb := range funcBodies(f) {
+			body := fb.body
+			inspectShallow(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				if feedsSort(pass, body, rs) {
+					return true
+				}
+				pass.Reportf(rs.Pos(), "map iteration order is nondeterministic; sort the keys first (collect+sort is exempt) or justify with //hetlint:sorted")
+				return true
+			})
+		}
+	}
+}
+
+// feedsSort reports whether the range loop only accumulates into local
+// slices/integer counters and at least one accumulated slice is passed to a
+// sort later in the same function — the canonical deterministic pattern
+//
+//	for k := range m { keys = append(keys, k) }
+//	slices.Sort(keys)
+func feedsSort(pass *Pass, body *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	appended := map[types.Object]bool{}
+	if !benignBody(pass, rs.Body.List, appended) || len(appended) == 0 {
+		return false
+	}
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || !isSortCall(fn) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && appended[pass.ObjectOf(id)] {
+					found = true
+				}
+				return !found
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes the sort/slices packages plus Sort*-named helpers
+// (SortKVsByKey and friends — the repo's deterministic-order workhorses).
+func isSortCall(fn *types.Func) bool {
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+		return true
+	}
+	return strings.HasPrefix(fn.Name(), "Sort") || strings.HasPrefix(fn.Name(), "sort")
+}
+
+// benignBody reports whether every statement is order-insensitive
+// accumulation: `v = append(v, ...)` (recording v), integer ++/--/+=/-=, or
+// an if statement whose branches are themselves benign.
+func benignBody(pass *Pass, stmts []ast.Stmt, appended map[types.Object]bool) bool {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.AssignStmt:
+			if !benignAssign(pass, s, appended) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			if !isInteger(pass.TypeOf(s.X)) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || !benignBody(pass, s.Body.List, appended) {
+				return false
+			}
+			if s.Else != nil {
+				eb, ok := s.Else.(*ast.BlockStmt)
+				if !ok || !benignBody(pass, eb.List, appended) {
+					return false
+				}
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func benignAssign(pass *Pass, s *ast.AssignStmt, appended map[types.Object]bool) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return isInteger(pass.TypeOf(s.Lhs[0]))
+	case token.ASSIGN, token.DEFINE:
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok || builtinName(pass, call) != "append" || len(call.Args) == 0 {
+			return false
+		}
+		if exprString(call.Args[0]) != exprString(s.Lhs[0]) {
+			return false
+		}
+		if id := baseIdent(s.Lhs[0]); id != nil {
+			if obj := pass.ObjectOf(id); obj != nil {
+				appended[obj] = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// baseIdent unwraps out[i][j]-style targets to their base identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package: the unit an analyzer pass runs over.
+// Test files (_test.go) are excluded — the invariants hetlint enforces are
+// production-code properties, and the tests deliberately exercise
+// nondeterminism (GOMAXPROCS sweeps, wall-clock benchmarks, fuzzers).
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	suppress map[string]map[int]map[string]suppressState // file -> line -> key -> state
+}
+
+// Loader loads and type-checks packages from the module root using only the
+// standard library: module-internal imports resolve by path mapping, stdlib
+// imports go through go/importer's source importer (the toolchain ships no
+// pre-compiled export data, and x/tools is unavailable offline). Pure-Go
+// only — cgo is disabled for the load, which this repo satisfies.
+type Loader struct {
+	Fset   *token.FileSet
+	root   string // module root directory
+	module string // module path from go.mod
+	std    types.Importer
+	pkgs   map[string]*Package
+	fix    map[string]string // fixture import path -> dir (LoadDir)
+}
+
+// NewLoader builds a loader for the module rooted at root (the directory
+// holding go.mod).
+func NewLoader(root string) (*Loader, error) {
+	mod, err := moduleName(root)
+	if err != nil {
+		return nil, err
+	}
+	// The source importer consults go/build's default context; cgo-built
+	// stdlib variants (net's cgo resolver, notably) cannot be type-checked
+	// from source, so force the pure-Go file set.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		root:   root,
+		module: mod,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*Package{},
+		fix:    map[string]string{},
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// moduleName reads the module path from root's go.mod.
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// Import implements types.Importer: module-internal paths load (and cache)
+// through the loader, everything else falls through to the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.isLocal(path) {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) isLocal(path string) bool {
+	if _, ok := l.fix[path]; ok {
+		return true
+	}
+	return path == l.module || strings.HasPrefix(path, l.module+"/")
+}
+
+// dirOf maps a module-internal (or fixture) import path to its directory.
+func (l *Loader) dirOf(path string) string {
+	if dir, ok := l.fix[path]; ok {
+		return dir
+	}
+	return filepath.Join(l.root, strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/"))
+}
+
+// Load type-checks the package at the import path (module-internal or a
+// registered fixture), memoized per loader.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := l.dirOf(path)
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg.buildSuppressions()
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir registers dir under importPath (a fixture package outside the
+// module tree, e.g. internal/lint/testdata/src/detmap) and loads it.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.fix[importPath] = abs
+	return l.Load(importPath)
+}
+
+// Expand resolves package patterns relative to the module root into import
+// paths: "./..." (or "...") walks the tree, "./x/y" names one directory.
+// Walks skip testdata, hidden directories and directories without buildable
+// Go files.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(rel)
+		path := l.module
+		if rel != "" && rel != "." {
+			path += "/" + rel
+		}
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk("", add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			if err := l.walk(strings.TrimPrefix(strings.TrimSuffix(pat, "/..."), "./"), add); err != nil {
+				return nil, err
+			}
+		default:
+			add(strings.TrimPrefix(pat, "./"))
+		}
+	}
+	return out, nil
+}
+
+// walk adds every directory under rel (module-root-relative) that holds
+// buildable Go files.
+func (l *Loader) walk(rel string, add func(string)) error {
+	base := filepath.Join(l.root, filepath.FromSlash(rel))
+	return filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			r, err := filepath.Rel(l.root, p)
+			if err != nil {
+				return err
+			}
+			add(r)
+		}
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

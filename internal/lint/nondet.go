@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NonDet forbids ambient nondeterminism in the deterministic-engine
+// packages: wall-clock time (time.Now/Since/Until — model time is the only
+// clock), the global math/rand source (internal/xrand seeds every stream),
+// environment lookups (engine behavior is a function of Config, never of
+// the process environment), and scheduler-shape probes
+// (runtime.NumCPU/GOMAXPROCS — results must be bit-identical across
+// GOMAXPROCS, so any dependence is at best a justified worker-pool sizing).
+// Observability wall-clocks that provably never feed Stats or the trace are
+// the intended //hetlint:nondet escape.
+var NonDet = &Analyzer{
+	Name:       "nondet",
+	Doc:        "forbid wall-clock, global rand, env and CPU-count dependence in engine packages",
+	Key:        "nondet",
+	EngineOnly: true,
+	Run:        runNonDet,
+}
+
+// nondetFuncs maps package path -> function name -> remedy. Only
+// package-level functions are matched (rand.New(...).Intn is a seeded
+// stream, not the global source).
+var nondetFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "model time is the only engine clock; wall-clock may only feed observability (justify with //hetlint:nondet)",
+		"Since": "model time is the only engine clock; wall-clock may only feed observability (justify with //hetlint:nondet)",
+		"Until": "model time is the only engine clock; wall-clock may only feed observability (justify with //hetlint:nondet)",
+	},
+	"os": {
+		"Getenv":    "engine behavior must be a function of Config, not the environment",
+		"LookupEnv": "engine behavior must be a function of Config, not the environment",
+		"Environ":   "engine behavior must be a function of Config, not the environment",
+	},
+	"runtime": {
+		"NumCPU":     "results must be bit-identical across CPU counts; derive sizes from Config",
+		"GOMAXPROCS": "results must be bit-identical across GOMAXPROCS; justify pure worker-pool sizing with //hetlint:nondet",
+	},
+}
+
+func runNonDet(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			if path == "math/rand" || path == "math/rand/v2" {
+				if !strings.HasPrefix(name, "New") {
+					pass.Reportf(sel.Pos(), "global %s.%s draws from the shared process-wide source; use a seeded internal/xrand stream", pathBase(path), name)
+				}
+				return true
+			}
+			if remedy, ok := nondetFuncs[path][name]; ok {
+				pass.Reportf(sel.Pos(), "%s.%s is nondeterministic in the engine: %s", path, name, remedy)
+			}
+			return true
+		})
+	}
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

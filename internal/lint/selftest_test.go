@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"errors"
+	"go/build"
+	"testing"
+)
+
+// TestRepoHetlintClean is the self-test the CI lint job gates on: the whole
+// module must produce zero hetlint diagnostics — every real finding is
+// either fixed or carries a justified //hetlint: suppression. It mirrors
+// `go run ./cmd/hetlint ./...` exactly (same loader, same engine gating).
+func TestRepoHetlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l := testLoader(t)
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("expanded only %d packages (%v); module walk is broken", len(paths), paths)
+	}
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			var ng *build.NoGoError
+			if errors.As(err, &ng) {
+				continue // build-tag-excluded directory
+			}
+			t.Fatalf("load %s: %v", path, err)
+		}
+		for _, d := range RunPackage(pkg, IsEnginePath(path), All()) {
+			t.Errorf("%s", d)
+		}
+	}
+}

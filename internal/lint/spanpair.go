@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// SpanPair requires every Cluster.Span(...) to be paired with an End() on
+// all paths of the opening function. §9's depth-truncation makes a leaked
+// inner span benign for trace attribution at runtime, but only because some
+// outer End() eventually truncates past it — the static pairing keeps phase
+// windows exact and the Stats deltas meaningful. Checked patterns:
+//
+//   - defer c.Span("x").End() / inline c.Span("x").End()   — paired
+//   - sp := c.Span("x") with defer sp.End() or a deferred closure calling
+//     sp.End() — paired, unless a return precedes the defer registration
+//   - sp := c.Span("x") with only plain sp.End() calls — every return after
+//     the open must be lexically preceded by an End (the loop-body error
+//     return that skips the End is exactly the leak this flags)
+//   - discarded result (c.Span("x") as a statement, or assigned to _) — leak
+//
+// The match is semantic, not name-based on Cluster: any method named Span
+// whose single result has an End method is covered, so future span-shaped
+// APIs inherit the check. Provably-benign leaks (error paths into an outer
+// deferred End whose truncation the trace goldens pin) carry
+// //hetlint:span with the justification.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "every Cluster.Span(...) must reach End() on all paths of the opening function",
+	Key:  "span",
+	Run:  runSpanPair,
+}
+
+func runSpanPair(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		parents := newParents(f)
+		for _, fb := range funcBodies(f) {
+			checkSpans(pass, fb.body, parents)
+		}
+	}
+}
+
+// spanCall reports whether call is a Span(...) invocation returning a
+// span-shaped value (single result carrying an End method).
+func spanCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Span" {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	return hasEndMethod(sig.Results().At(0).Type())
+}
+
+func hasEndMethod(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "End")
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// spanName extracts the phase name literal for messages ("?" when dynamic).
+func spanName(call *ast.CallExpr) string {
+	if len(call.Args) > 0 {
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				return s
+			}
+		}
+	}
+	return "?"
+}
+
+func checkSpans(pass *Pass, body *ast.BlockStmt, parents parentMap) {
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !spanCall(pass, call) {
+			return true
+		}
+		name := spanName(call)
+		switch parent := parents[call].(type) {
+		case *ast.SelectorExpr: // c.Span("x").End() — inline or deferred
+			if parent.Sel.Name == "End" {
+				return true
+			}
+		case *ast.AssignStmt:
+			checkAssignedSpan(pass, body, parents, call, parent, name)
+			return true
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "span %q is opened and discarded; call End() (or defer it)", name)
+			return true
+		}
+		// Any other parent (argument position, composite field, ...) makes
+		// the span's lifetime opaque to the lexical check; leave it to the
+		// runtime truncation goldens.
+		return true
+	})
+}
+
+// checkAssignedSpan handles sp := c.Span("x").
+func checkAssignedSpan(pass *Pass, body *ast.BlockStmt, parents parentMap, call *ast.CallExpr, assign *ast.AssignStmt, name string) {
+	// Locate the LHS receiving the span (single-RHS assignment only; a Span
+	// call cannot appear in a multi-value RHS).
+	if len(assign.Rhs) != 1 || len(assign.Lhs) != 1 {
+		return
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(), "span %q is assigned to _ and leaks; call End()", name)
+		return
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+
+	type endUse struct {
+		call     *ast.CallExpr
+		deferred bool
+		deferPos ast.Node // the DeferStmt registering it, when deferred
+	}
+	var ends []endUse
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		use, ok := n.(*ast.Ident)
+		if !ok || use == id || pass.ObjectOf(use) != obj {
+			return true
+		}
+		// sp.End() — the selector parent, then the call parent.
+		if sel, ok := parents[use].(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+			if c, ok := parents[sel].(*ast.CallExpr); ok && c.Fun == sel {
+				deferStmt := enclosingDefer(parents, c)
+				ends = append(ends, endUse{call: c, deferred: deferStmt != nil, deferPos: deferStmt})
+				return true
+			}
+		}
+		escapes = true // sp used some other way: stored, passed, compared
+		return true
+	})
+	if escapes {
+		return // lifetime is no longer lexical; runtime goldens own it
+	}
+	if len(ends) == 0 {
+		pass.Reportf(call.Pos(), "span %q is never ended in this function; add defer %s.End()", name, id.Name)
+		return
+	}
+	var firstDefer ast.Node
+	for _, e := range ends {
+		if e.deferred && firstDefer == nil {
+			firstDefer = e.deferPos
+		}
+	}
+	if firstDefer != nil {
+		for _, r := range returnsBefore(body, assign.End(), firstDefer.Pos()) {
+			pass.Reportf(r.Pos(), "return before defer of %s.End() is registered; span %q leaks on this path", id.Name, name)
+		}
+		return
+	}
+	// Plain End()s only: every later return must be lexically preceded by
+	// one (the approximation that catches the error-path leak without a CFG;
+	// annotate provably-benign leaks with //hetlint:span).
+	for _, r := range returnsBefore(body, assign.End(), body.End()) {
+		covered := false
+		for _, e := range ends {
+			if e.call.Pos() > assign.End() && e.call.End() < r.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(r.Pos(), "span %q has no %s.End() before this return; it leaks on this path (defer the End or justify with //hetlint:span)", name, id.Name)
+		}
+	}
+}
+
+// enclosingDefer returns the DeferStmt that will run n at function exit: n
+// is the deferred call itself, or sits inside a FuncLit that a DeferStmt
+// invokes directly.
+func enclosingDefer(parents parentMap, n ast.Node) ast.Node {
+	for cur := ast.Node(n); cur != nil; cur = parents[cur] {
+		switch p := parents[cur].(type) {
+		case *ast.DeferStmt:
+			if p.Call == cur {
+				return p
+			}
+		case *ast.CallExpr:
+			if lit, ok := cur.(*ast.FuncLit); ok && p.Fun == lit {
+				if d, ok := parents[p].(*ast.DeferStmt); ok && d.Call == p {
+					return d
+				}
+			}
+		}
+	}
+	return nil
+}

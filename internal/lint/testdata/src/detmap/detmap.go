@@ -1,0 +1,102 @@
+// Package detmap is the hetlint detmap fixture: map ranges in an engine
+// package must feed a sort or carry a justified //hetlint:sorted comment.
+package detmap
+
+import "sort"
+
+// countBad sums map values in iteration order. Exact integer addition is
+// commutative, but the analyzer still demands the written justification —
+// the reviewer, not the linter, proves commutativity.
+func countBad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the canonical exempt pattern: collect into locals, then
+// sort before anything observable happens.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedConditional still qualifies: conditional appends plus an integer
+// counter are order-insensitive accumulation.
+func sortedConditional(m map[string]int) ([]string, int) {
+	var hot []string
+	n := 0
+	for k, v := range m {
+		if v > 0 {
+			hot = append(hot, k)
+		}
+		n++
+	}
+	sort.Strings(hot)
+	return hot, n
+}
+
+// sortHelper stands in for the repo's SortKVsByKey-style helpers: a
+// Sort*-named callee also counts as the downstream sort.
+func sortHelper(xs []string) { sort.Strings(xs) }
+
+// sortedViaHelper collects and sorts through a local helper.
+func sortedViaHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortHelper(keys)
+	return keys
+}
+
+// sortedIndexed appends into an indexed slot and sorts that slot.
+func sortedIndexed(ms [2]map[string]int) [][]string {
+	out := make([][]string, len(ms))
+	for i, m := range ms {
+		for k := range m {
+			out[i] = append(out[i], k)
+		}
+		sort.Strings(out[i])
+	}
+	return out
+}
+
+// unsortedCollect collects but never sorts — the iteration order leaks into
+// the returned slice.
+func unsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// justified carries the escape hatch with a reason.
+func justified(m map[string]int) bool {
+	//hetlint:sorted existence scan: the boolean result is order-independent
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bareSuppression shows that a justification-free comment does not
+// suppress.
+func bareSuppression(m map[string]int) int {
+	n := 0
+	//hetlint:sorted
+	for range m { // want `carries no justification`
+		n++
+	}
+	return n
+}
+
+var _ = []any{countBad, sortedKeys, sortedConditional, sortedViaHelper, sortedIndexed, unsortedCollect, justified, bareSuppression}

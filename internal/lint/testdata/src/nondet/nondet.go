@@ -1,0 +1,43 @@
+// Package nondet is the hetlint nondet fixture: ambient nondeterminism
+// (wall-clock, global rand, environment, CPU shape) is banned from engine
+// packages.
+package nondet
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+func clock() time.Duration {
+	start := time.Now()      // want `time.Now is nondeterministic`
+	return time.Since(start) // want `time.Since is nondeterministic`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand.Intn draws from the shared process-wide source`
+}
+
+// seeded streams are the sanctioned path: rand.New/NewSource construct, the
+// draw happens on the stream's methods.
+func seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+func env() string {
+	return os.Getenv("HETMPC_DEBUG") // want `engine behavior must be a function of Config`
+}
+
+func cpus() int {
+	return runtime.NumCPU() // want `bit-identical across CPU counts`
+}
+
+// workers carries the justified escape: pool sizing that cannot reach the
+// modeled stats.
+func workers() int {
+	//hetlint:nondet worker-pool sizing only; outputs are pinned bit-identical by the GOMAXPROCS golden sweeps
+	return 2*runtime.GOMAXPROCS(0) + 2
+}
+
+var _ = []any{clock, globalRand, seeded, env, cpus, workers}

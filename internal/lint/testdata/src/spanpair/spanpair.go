@@ -1,0 +1,91 @@
+// Package spanpair is the hetlint spanpair fixture: every Span(...) must
+// reach an End() on all paths of the opening function. The types mirror the
+// engine's Cluster.Span shape — the analyzer matches any method named Span
+// whose single result carries an End method.
+package spanpair
+
+type Stats struct{ Rounds int }
+
+type Span struct{ name string }
+
+func (s *Span) End() Stats { return Stats{} }
+
+type Cluster struct{}
+
+func (c *Cluster) Span(name string) *Span { return &Span{name: name} }
+
+func work() error { return nil }
+
+// deferredChain pairs open and close in one statement.
+func deferredChain(c *Cluster) error {
+	defer c.Span("chain").End()
+	return work()
+}
+
+// deferredClosure is the engine's dominant pattern: the closure harvests the
+// Stats delta at exit.
+func deferredClosure(c *Cluster) (st Stats, err error) {
+	sp := c.Span("closure")
+	defer func() { st = sp.End() }()
+	if err := work(); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// inlinePlain ends on its only path.
+func inlinePlain(c *Cluster) Stats {
+	sp := c.Span("plain")
+	st := sp.End()
+	return st
+}
+
+// discarded opens a span as a bare statement.
+func discarded(c *Cluster) {
+	c.Span("discarded") // want `opened and discarded`
+}
+
+// blackhole assigns the span to the blank identifier.
+func blackhole(c *Cluster) {
+	_ = c.Span("blackhole") // want `assigned to _ and leaks`
+}
+
+// neverEnded parks the span in a named result and forgets it.
+func neverEnded(c *Cluster) (sp *Span) {
+	sp = c.Span("never") // want `never ended`
+	return
+}
+
+// leakOnErrorPath skips the plain End on the early return.
+func leakOnErrorPath(c *Cluster) error {
+	sp := c.Span("early")
+	if err := work(); err != nil {
+		return err // want `no sp.End\(\) before this return`
+	}
+	sp.End()
+	return nil
+}
+
+// returnBeforeDefer registers the deferred End after a return can fire.
+func returnBeforeDefer(c *Cluster) error {
+	sp := c.Span("late")
+	if err := work(); err != nil {
+		return err // want `return before defer`
+	}
+	defer sp.End()
+	return work()
+}
+
+// justifiedLeak documents a benign leak: the caller's deferred End truncates
+// past it, and the trace goldens pin that attribution.
+func justifiedLeak(c *Cluster) error {
+	sp := c.Span("inner")
+	if err := work(); err != nil {
+		//hetlint:span truncated by the caller's deferred End; attribution pinned by the trace goldens
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+var _ = []any{deferredChain, deferredClosure, inlinePlain, discarded, blackhole, neverEnded, leakOnErrorPath, returnBeforeDefer, justifiedLeak}

@@ -1,0 +1,59 @@
+// Package wrapcheck is the hetlint wrapcheck fixture: sentinels must stay
+// errors.Is-reachable through every fmt.Errorf, and exported engine entry
+// points must not mint bare errors.New values.
+package wrapcheck
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNeedsLarge mirrors the engine's typed sentinels.
+var ErrNeedsLarge = errors.New("algorithm needs a large cluster")
+
+func sentinelBad(name string) error {
+	return fmt.Errorf("algorithm %s: %v", name, ErrNeedsLarge) // want `sentinel ErrNeedsLarge formatted with %v`
+}
+
+func sentinelGood(name string) error {
+	return fmt.Errorf("algorithm %s: %w", name, ErrNeedsLarge)
+}
+
+func flattened(err error) error {
+	return fmt.Errorf("round failed: %v", err) // want `flattened to text`
+}
+
+// flattenPlusSentinel is the deliberate engine idiom: the underlying cause
+// is demoted to display text while the sentinel stays errors.Is-reachable.
+func flattenPlusSentinel(err error) error {
+	return fmt.Errorf("transport: %v: %w", err, ErrNeedsLarge)
+}
+
+// doubleWrap keeps both reachable (legal since Go 1.20).
+func doubleWrap(err error) error {
+	return fmt.Errorf("transport: %w: %w", err, ErrNeedsLarge)
+}
+
+// justifiedFlatten demotes the cause on purpose and says why.
+func justifiedFlatten(err error) error {
+	//hetlint:wrap advisory display text only; callers match on the sentinel attached by the caller
+	return fmt.Errorf("warning: %v", err)
+}
+
+// Validate is an exported engine entry point: bare errors.New is banned.
+func Validate(n int) error {
+	if n < 0 {
+		return errors.New("negative cluster size") // want `bare errors.New`
+	}
+	return nil
+}
+
+// helper is unexported, so ad-hoc errors are its caller's problem.
+func helper(n int) error {
+	if n < 0 {
+		return errors.New("unexported helpers may use ad-hoc errors")
+	}
+	return nil
+}
+
+var _ = []any{sentinelBad, sentinelGood, flattened, flattenPlusSentinel, doubleWrap, justifiedFlatten, Validate, helper}

@@ -1,0 +1,49 @@
+// Package zeroalloc is the hetlint zeroalloc fixture: bodies marked with
+// the //hetlint:zeroalloc directive must not allocate outside the two
+// sanctioned idioms (cold error paths and cap()-guarded arena growth).
+package zeroalloc
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func sink(v any) { _ = v }
+
+// Encode shows the sanctioned arena shape: a cold error path, cap-guarded
+// growth, and append-back — none of it flagged.
+//
+//hetlint:zeroalloc pinned by the codec AllocsPerRun suite
+func Encode(dst []byte, vals []int64, scratch []int64) ([]byte, []int64, error) {
+	if len(vals) > 1<<20 {
+		return nil, scratch, fmt.Errorf("too many values: %d", len(vals))
+	}
+	if cap(scratch) < len(vals) {
+		scratch = make([]int64, len(vals))
+	}
+	scratch = scratch[:len(vals)]
+	for i, v := range vals {
+		scratch[i] = v
+		dst = append(dst, byte(v))
+	}
+	return dst, scratch, nil
+}
+
+// Hot trips every allocation class the analyzer knows.
+//
+//hetlint:zeroalloc demo body for the fixture
+func Hot(n int, b []byte) int {
+	buf := make([]int, n) // want `make allocates`
+	out := []int{1}       // want `slice literal allocates`
+	out = append(buf, 2)  // want `append result is not assigned back to buf`
+	fmt.Println(n)        // want `fmt.Println allocates`
+	sink(n)               // want `boxes int into interface`
+	s := string(b)        // want `conversion copies`
+	p := &pair{a: n}      // want `&composite literal escapes`
+	total := 0
+	bump := func() { total++ } // want `closure captures total`
+	bump()
+	go bump() // want `go statement spawns a goroutine`
+	//hetlint:alloc one-time header row, amortized across the run; pinned by the fixture itself
+	hdr := make([]byte, 8)
+	return n + len(buf) + len(out) + len(s) + p.a + total + len(hdr)
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// WrapCheck keeps every error chain errors.Is-reachable to its typed
+// sentinel:
+//
+//   - a fmt.Errorf argument that IS a sentinel (package-level ErrX variable)
+//     must be wrapped with %w — a %v/%s sentinel prints the same string but
+//     silently severs errors.Is, the bug class the NoLarge and transport
+//     regression tests only catch for the paths they exercise;
+//   - an error-typed argument rendered with %v/%s in a format that carries
+//     no %w at all is flattened out of the chain entirely (the CLI-main
+//     pattern) — use %w, possibly several (fmt.Errorf wraps multiple %w
+//     since Go 1.20). The deliberate `%v ... %w` idiom — flatten the
+//     underlying cause, wrap the sentinel — is allowed;
+//   - in engine packages, an exported function must not return a bare
+//     errors.New: name a package sentinel so callers can errors.Is.
+//
+// Deliberate flattening (an error demoted to plain text) carries
+// //hetlint:wrap with the justification.
+var WrapCheck = &Analyzer{
+	Name: "wrapcheck",
+	Doc:  "sentinels must be wrapped with %w; exported engine errors must reach a typed sentinel",
+	Key:  "wrap",
+	Run:  runWrapCheck,
+}
+
+func runWrapCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkErrorf(pass, call)
+			}
+			return true
+		})
+		if pass.Engine {
+			checkExportedErrorsNew(pass, f)
+		}
+	}
+}
+
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(calleeFunc(pass, call), "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return // dynamic format string: out of static reach
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	hasW := false
+	for _, v := range verbs {
+		if v == 'w' {
+			hasW = true
+		}
+	}
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		verb := verbs[i]
+		switch {
+		case isSentinel(pass, arg) && verb != 'w':
+			pass.Reportf(arg.Pos(), "sentinel %s formatted with %%%c is unreachable by errors.Is; wrap it with %%w", exprString(arg), verb)
+		case !hasW && (verb == 'v' || verb == 's') && implementsError(pass.TypeOf(arg)):
+			pass.Reportf(arg.Pos(), "error %s is flattened to text (%%%c with no %%w in the format); wrap with %%w so errors.Is reaches the cause", exprString(arg), verb)
+		}
+	}
+}
+
+// formatVerbs returns the verb letters in argument-consuming order: one
+// entry per consumed argument, '*' width/precision arguments included as
+// '*'. %% consumes nothing. Explicit argument indexes (%[1]d) end the
+// static mapping — the tail is left unchecked.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(rs) && rs[i] == '%' {
+			continue
+		}
+		for i < len(rs) {
+			c := rs[i]
+			if c == '[' { // explicit index: give up on the mapping
+				return verbs
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' || c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}
+
+// checkExportedErrorsNew flags `return errors.New(...)` inside exported
+// functions of engine packages.
+func checkExportedErrorsNew(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		inspectShallow(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok &&
+					isPkgFunc(calleeFunc(pass, call), "errors", "New") {
+					pass.Reportf(call.Pos(), "exported engine entry point returns a bare errors.New; name a typed package sentinel (var ErrX = ...) and wrap it with %%w")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ZeroAlloc statically audits the functions whose AllocsPerRun==0 pins the
+// runtime suite already enforces — the wire codec encode/decode paths and
+// the Exchange deliver inner loops. A function opts in by carrying the
+// `//hetlint:zeroalloc` directive in its doc comment (the same names the
+// alloc-pin tests exercise, so the static check and the runtime pin gate
+// one set of functions). Inside a marked body the analyzer flags the
+// allocation sites the pins would catch only after a perf regression ships:
+//
+//   - fmt.* calls, make/new, slice/map composite literals and
+//     heap-escaping &composites
+//   - interface boxing: a concrete value passed to an interface parameter
+//     or converted to an interface type
+//   - closures capturing variables, and `go` statements
+//   - non-arena append growth: append whose result is not assigned back to
+//     the buffer it extends (y = append(x, ...)), the fresh-backing-array
+//     pattern
+//   - string<->[]byte conversions
+//
+// Two idioms are exempt because they are exactly how the hot paths stay
+// zero-alloc in steady state: the cold error path (an allocation feeding a
+// non-nil error return — errors never fire in the pinned steady state) and
+// arena growth (an allocation guarded by a cap() check — it fires until the
+// high-water mark, then never again). Anything else provably amortized
+// carries //hetlint:alloc with the justification and the pinning test's
+// name. The check is intraprocedural: callees are covered by their own
+// markers and by the AllocsPerRun pins.
+var ZeroAlloc = &Analyzer{
+	Name: "zeroalloc",
+	Doc:  "flag allocation sites in //hetlint:zeroalloc-marked functions",
+	Key:  "alloc",
+	Run:  runZeroAlloc,
+}
+
+// zeroAllocMarker is the function doc directive opting a body in.
+const zeroAllocMarker = "//hetlint:zeroalloc"
+
+func hasZeroAllocMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == zeroAllocMarker || strings.HasPrefix(c.Text, zeroAllocMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runZeroAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		parents := newParents(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasZeroAllocMarker(fd.Doc) {
+				continue
+			}
+			za := &zeroAllocCheck{pass: pass, parents: parents, body: fd.Body}
+			za.check()
+		}
+	}
+}
+
+type zeroAllocCheck struct {
+	pass    *Pass
+	parents parentMap
+	body    *ast.BlockStmt
+}
+
+func (za *zeroAllocCheck) check() {
+	ast.Inspect(za.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			za.checkCall(x)
+		case *ast.CompositeLit:
+			za.checkComposite(x)
+		case *ast.FuncLit:
+			za.checkFuncLit(x)
+		case *ast.GoStmt:
+			za.flag(n, "go statement spawns a goroutine (allocates a stack)")
+		}
+		return true
+	})
+}
+
+// flag reports at n unless the site is on a cold error path or behind an
+// arena cap() guard.
+func (za *zeroAllocCheck) flag(n ast.Node, format string, args ...any) {
+	if za.coldErrorPath(n) || za.arenaGuarded(n) {
+		return
+	}
+	za.pass.Reportf(n.Pos(), "zero-alloc function: "+format, args...)
+}
+
+func (za *zeroAllocCheck) checkCall(call *ast.CallExpr) {
+	switch builtinName(za.pass, call) {
+	case "make":
+		za.flag(call, "make allocates; reuse capacity (cap()-guarded arena growth is exempt)")
+		return
+	case "new":
+		za.flag(call, "new allocates; reuse a scratch value")
+		return
+	case "append":
+		za.checkAppend(call)
+		return
+	case "":
+	default:
+		return // len, cap, copy, ...
+	}
+	if fn := calleeFunc(za.pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		za.flag(call, "fmt.%s allocates (formats into fresh memory and boxes its operands)", fn.Name())
+		return
+	}
+	za.checkConversion(call)
+	za.checkBoxing(call)
+}
+
+// checkAppend flags append calls that are not assigned back to the buffer
+// they extend: `x = append(x, ...)` and `x = append(x[:0], ...)` are the
+// arena idioms (amortized zero against a warm buffer); anything else risks
+// a fresh backing array every call.
+func (za *zeroAllocCheck) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if assign, ok := za.parents[call].(*ast.AssignStmt); ok && len(assign.Lhs) == len(assign.Rhs) {
+		for i, rhs := range assign.Rhs {
+			if rhs != call {
+				continue
+			}
+			base := ast.Unparen(call.Args[0])
+			if se, ok := base.(*ast.SliceExpr); ok {
+				base = se.X
+			}
+			if exprString(assign.Lhs[i]) == exprString(base) {
+				return
+			}
+		}
+	}
+	za.flag(call, "append result is not assigned back to %s; non-arena growth allocates a fresh backing array", exprString(call.Args[0]))
+}
+
+// checkConversion flags conversions that allocate: to an interface type and
+// between string and byte/rune slices.
+func (za *zeroAllocCheck) checkConversion(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := za.pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := tv.Type
+	src := za.pass.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); ok {
+		if _, isIface := src.Underlying().(*types.Interface); !isIface {
+			za.flag(call, "conversion boxes %s into interface %s (allocates)", src, dst)
+		}
+		return
+	}
+	db, dok := dst.Underlying().(*types.Basic)
+	_, sok := src.Underlying().(*types.Slice)
+	if dok && db.Info()&types.IsString != 0 && sok {
+		za.flag(call, "[]byte-to-string conversion copies (allocates)")
+		return
+	}
+	sb, sbok := src.Underlying().(*types.Basic)
+	_, dslice := dst.Underlying().(*types.Slice)
+	if sbok && sb.Info()&types.IsString != 0 && dslice {
+		za.flag(call, "string-to-slice conversion copies (allocates)")
+	}
+}
+
+// checkBoxing flags concrete values passed to interface parameters.
+func (za *zeroAllocCheck) checkBoxing(call *ast.CallExpr) {
+	sig, ok := za.pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-arg boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, ok := param.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := za.pass.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		za.flag(arg, "argument %s boxes %s into interface %s (allocates)", exprString(arg), at, param)
+	}
+}
+
+// checkComposite flags slice/map literals (always heap-backed) and
+// &composites (escape candidates); plain struct values are fine.
+func (za *zeroAllocCheck) checkComposite(lit *ast.CompositeLit) {
+	if ue, ok := za.parents[lit].(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+		za.flag(ue, "&composite literal escapes to the heap")
+		return
+	}
+	t := za.pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		za.flag(lit, "slice literal allocates a backing array")
+	case *types.Map:
+		za.flag(lit, "map literal allocates")
+	}
+}
+
+// checkFuncLit flags closures that capture variables (the capture cells and
+// often the closure itself allocate).
+func (za *zeroAllocCheck) checkFuncLit(lit *ast.FuncLit) {
+	var captured []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := za.pass.ObjectOf(id).(*types.Var)
+		if !ok || seen[v] || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			if !v.IsField() {
+				seen[v] = true
+				captured = append(captured, v.Name())
+			}
+		}
+		return true
+	})
+	if len(captured) > 0 {
+		za.flag(lit, "closure captures %s (capture cells escape)", strings.Join(captured, ", "))
+	}
+}
+
+// coldErrorPath reports whether n only executes on an error return: n sits
+// inside a return statement carrying a non-nil error result, or inside an
+// if/case branch whose final statement is such a return. Allocation there
+// never runs in the pinned steady state.
+func (za *zeroAllocCheck) coldErrorPath(n ast.Node) bool {
+	for cur := n; cur != nil && cur != za.body; cur = za.parents[cur] {
+		if ret, ok := cur.(*ast.ReturnStmt); ok && returnsNonNilError(za.pass, ret) {
+			return true
+		}
+		block, ok := cur.(*ast.BlockStmt)
+		if !ok || block == za.body {
+			continue
+		}
+		switch za.parents[block].(type) {
+		case *ast.IfStmt:
+		default:
+			continue
+		}
+		if len(block.List) == 0 {
+			continue
+		}
+		if ret, ok := block.List[len(block.List)-1].(*ast.ReturnStmt); ok && returnsNonNilError(za.pass, ret) {
+			return true
+		}
+	}
+	// case/comm clauses have no BlockStmt; check them directly.
+	for cur := n; cur != nil && cur != za.body; cur = za.parents[cur] {
+		var list []ast.Stmt
+		switch cl := cur.(type) {
+		case *ast.CaseClause:
+			list = cl.Body
+		case *ast.CommClause:
+			list = cl.Body
+		default:
+			continue
+		}
+		if len(list) > 0 {
+			if ret, ok := list[len(list)-1].(*ast.ReturnStmt); ok && returnsNonNilError(za.pass, ret) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func returnsNonNilError(pass *Pass, ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		if implementsError(pass.TypeOf(res)) {
+			return true
+		}
+	}
+	return false
+}
+
+// arenaGuarded reports whether n sits in an if branch whose condition
+// consults cap() — the grow-to-high-water-mark arena idiom, which
+// allocates only until steady state.
+func (za *zeroAllocCheck) arenaGuarded(n ast.Node) bool {
+	for cur := n; cur != nil && cur != za.body; cur = za.parents[cur] {
+		ifs, ok := cur.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		capCall := false
+		ast.Inspect(ifs.Cond, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && builtinName(za.pass, call) == "cap" {
+				capCall = true
+			}
+			return !capCall
+		})
+		if capCall {
+			return true
+		}
+	}
+	return false
+}

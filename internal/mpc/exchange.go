@@ -1,7 +1,6 @@
 package mpc
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
@@ -134,7 +133,7 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 	}
 	if len(outLarge) > 0 {
 		if !c.HasLarge() {
-			return nil, nil, errors.New("mpc: outLarge non-empty but the cluster has no large machine")
+			return nil, nil, fmt.Errorf("mpc: outLarge non-empty but the cluster has no large machine: %w", ErrNeedsLarge)
 		}
 		addPlan(Large, outLarge)
 	}
@@ -411,6 +410,8 @@ func (c *Cluster) planSender(p *senderPlan, slotOf []int32) {
 // copySender copies one sender's messages into the flat inbox array at the
 // offsets fixed during layout. slotOf is a zeroed scratch map and is
 // re-zeroed before returning.
+//
+//hetlint:zeroalloc deliver inner loop; pinned by TestNilMetricsZeroAlloc and BenchmarkExchangeNilMetrics
 func (sc *exchScratch) copySender(p *senderPlan, slotOf []int32, flat []Msg) {
 	for ei := range p.entries {
 		slotOf[p.entries[ei].slot] = int32(ei + 1)

@@ -18,7 +18,7 @@ func (c *Cluster) ForSmall(fn func(i int) error) error {
 // parallelN runs fn(0..n-1) on a bounded worker pool and returns the first
 // error encountered.
 func parallelN(n int, fn func(i int) error) error {
-	workers := 2*runtime.GOMAXPROCS(0) + 2
+	workers := 2*runtime.GOMAXPROCS(0) + 2 //hetlint:nondet worker-pool sizing only; engine outputs are pinned bit-identical across pool widths by the GOMAXPROCS golden sweeps
 	if workers > n {
 		workers = n
 	}

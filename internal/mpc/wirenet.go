@@ -116,35 +116,14 @@ func (c *Cluster) deliverWire(flat []Msg) (int64, error) {
 	}
 	var encStart time.Time
 	if wn.mx != nil {
-		encStart = time.Now()
+		encStart = time.Now() //hetlint:nondet wall-clock encode metering feeds the wire metrics only; Stats and traces use model time
 	}
-	var fm wire.Message
-	for s := range plans {
-		p := &plans[s]
-		for j := range p.msgs {
-			m := &p.msgs[j]
-			slot := 1 + m.To
-			if m.To == Large {
-				slot = 0
-			}
-			fm.From = int32(p.from)
-			fm.To = int32(m.To)
-			fm.Words = uint32(m.Words)
-			if !fm.FromPayload(m.Data) {
-				fm.Ref = uint32(len(wn.refs[slot]))
-				wn.refs[slot] = append(wn.refs[slot], m.Data)
-			}
-			var err error
-			if wn.bufs[slot], err = wire.AppendMessage(wn.bufs[slot], &fm); err != nil {
-				wn.broken = fmt.Errorf("mpc: transport %q link %q: encode: %v: %w",
-					wn.tr.Name(), wn.links[slot].Name(), err, wire.ErrTransport)
-				return 0, wn.broken
-			}
-		}
+	if err := wn.encodeRound(plans); err != nil {
+		return 0, err
 	}
 
 	if wn.mx != nil {
-		wn.mx.encodeNs.Add(time.Since(encStart).Nanoseconds())
+		wn.mx.encodeNs.Add(time.Since(encStart).Nanoseconds()) //hetlint:nondet wall-clock encode metering feeds the wire metrics only
 		// Frames per destination link: exactly the messages the layout phase
 		// counted for that slot (one frame per message on the wire).
 		for slot := range wn.links {
@@ -170,28 +149,11 @@ func (c *Cluster) deliverWire(flat []Msg) (int64, error) {
 				// Decode time is the reader's whole drain, including time
 				// blocked waiting for bytes; the counter is atomic, so each
 				// reader goroutine publishes its own link safely.
-				t0 := time.Now()
-				defer func() { wn.mx.decodeNs[slot].Add(time.Since(t0).Nanoseconds()) }()
+				t0 := time.Now()                                                          //hetlint:nondet wall-clock decode metering feeds the wire metrics only; Stats and traces use model time
+				defer func() { wn.mx.decodeNs[slot].Add(time.Since(t0).Nanoseconds()) }() //hetlint:nondet wall-clock decode metering feeds the wire metrics only
 			}
-			link := wn.links[slot]
-			dec := wn.decs[slot]
-			dec.Release()
-			base := sc.slotBase[slot]
-			var m wire.Message
-			for i := 0; i < n; i++ {
-				if err := dec.ReadMessage(link, &m); err != nil {
-					wn.fail(slot, wn.rerr, err)
-					return
-				}
-				data := m.Payload()
-				if m.Kind == wire.KindRef {
-					if int(m.Ref) >= len(wn.refs[slot]) {
-						wn.fail(slot, wn.rerr, fmt.Errorf("%w: ref %d of %d", wire.ErrCorrupt, m.Ref, len(wn.refs[slot])))
-						return
-					}
-					data = wn.refs[slot][m.Ref]
-				}
-				flat[base+i] = Msg{From: int(m.From), To: int(m.To), Words: int(m.Words), Data: data}
+			if err := wn.readInto(slot, n, sc.slotBase[slot], flat); err != nil {
+				wn.fail(slot, wn.rerr, err)
 			}
 		}(slot, n)
 	}
@@ -226,6 +188,67 @@ func (c *Cluster) deliverWire(flat []Msg) (int64, error) {
 		return roundBytes, wn.broken
 	}
 	return roundBytes, nil
+}
+
+// encodeRound frames every planned message into the per-slot write buffers
+// in the deterministic delivery order, recording out-of-line payloads in the
+// per-slot ref tables. The ref tables must be complete before any reader
+// goroutine starts, so this runs serially before the drain.
+//
+//hetlint:zeroalloc steady-state encode path: buffers and ref tables are reused round over round (AllocsPerRun pins in metrics_alloc_test.go)
+func (wn *wireNet) encodeRound(plans []senderPlan) error {
+	var fm wire.Message
+	for s := range plans {
+		p := &plans[s]
+		for j := range p.msgs {
+			m := &p.msgs[j]
+			slot := 1 + m.To
+			if m.To == Large {
+				slot = 0
+			}
+			fm.From = int32(p.from)
+			fm.To = int32(m.To)
+			fm.Words = uint32(m.Words)
+			if !fm.FromPayload(m.Data) {
+				fm.Ref = uint32(len(wn.refs[slot]))
+				wn.refs[slot] = append(wn.refs[slot], m.Data)
+			}
+			var err error
+			if wn.bufs[slot], err = wire.AppendMessage(wn.bufs[slot], &fm); err != nil {
+				wn.broken = fmt.Errorf("mpc: transport %q link %q: encode: %v: %w",
+					wn.tr.Name(), wn.links[slot].Name(), err, wire.ErrTransport)
+				return wn.broken
+			}
+		}
+	}
+	return nil
+}
+
+// readInto drains n frames from slot's link into flat[base:base+n],
+// resolving ref frames against the slot's ref table. It is the body of one
+// reader goroutine; the returned error is published by the caller through
+// wn.fail.
+//
+//hetlint:zeroalloc steady-state decode path: the decoder arenas absorb payloads (AllocsPerRun pins in metrics_alloc_test.go)
+func (wn *wireNet) readInto(slot, n, base int, flat []Msg) error {
+	link := wn.links[slot]
+	dec := wn.decs[slot]
+	dec.Release()
+	var m wire.Message
+	for i := 0; i < n; i++ {
+		if err := dec.ReadMessage(link, &m); err != nil {
+			return err
+		}
+		data := m.Payload()
+		if m.Kind == wire.KindRef {
+			if int(m.Ref) >= len(wn.refs[slot]) {
+				return fmt.Errorf("%w: ref %d of %d", wire.ErrCorrupt, m.Ref, len(wn.refs[slot]))
+			}
+			data = wn.refs[slot][m.Ref]
+		}
+		flat[base+i] = Msg{From: int(m.From), To: int(m.To), Words: int(m.Words), Data: data}
+	}
+	return nil
 }
 
 // applyTransport wires cfg.Transport into the cluster (nil = shared-memory

@@ -31,13 +31,15 @@ type CCResult struct {
 func Connectivity(c *mpc.Cluster, g *graph.Graph) (*CCResult, error) {
 	sp := c.Span("baseline-cc")
 	n := g.N
+	res := &CCResult{}
+	// Registered before the first fallible call so the span closes on every
+	// path (the early-return leak hetlint's spanpair analyzer flags).
+	defer func() { res.Stats = sp.End() }()
 	edges, err := prims.DistributeEdges(c, g)
 	if err != nil {
 		return nil, err
 	}
 	kk := c.K()
-	res := &CCResult{}
-	defer func() { res.Stats = sp.End() }()
 
 	seed, err := prims.BroadcastSeed(c)
 	if err != nil {

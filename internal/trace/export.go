@@ -78,7 +78,7 @@ func ReadJSONL(r io.Reader) ([]Round, error) {
 		}
 		var rec Round
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		rounds = append(rounds, rec)
 	}

@@ -17,7 +17,10 @@
 // (mpc, prims, algorithms, exp, the CLIs) can share its types.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Machine-id conventions, mirroring mpc: the large machine is -1, small
 // machines are 0..K-1, and None marks "no machine" (a silent round where
@@ -263,9 +266,18 @@ func Summarize(rounds []Round) *Summary {
 		}
 		p.Top = None
 		total := 0.0
-		for id, t := range busy[p.Phase] {
+		// Ascending id order: the float sum is evaluated in one fixed order
+		// (bit-stable across runs), and strict > picks the smallest id among
+		// tied maxima.
+		ids := make([]int, 0, len(busy[p.Phase]))
+		for id := range busy[p.Phase] {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			t := busy[p.Phase][id]
 			total += t
-			if t > p.TopTime || (t == p.TopTime && p.Top != None && id < p.Top) {
+			if t > p.TopTime {
 				p.Top, p.TopTime = id, t
 			}
 		}

@@ -10,6 +10,8 @@ import (
 // payloadLen returns the payload byte length a Message encodes to, or an
 // error when the message cannot be framed (slice too long for the uint32
 // length prefix).
+//
+//hetlint:zeroalloc encode hot path; pinned by TestDecoderZeroSteadyStateAllocs and the mpc AllocsPerRun suite
 func payloadLen(m *Message) (int, error) {
 	switch m.Kind {
 	case KindNil:
@@ -40,6 +42,8 @@ func payloadLen(m *Message) (int, error) {
 // AppendMessage appends m's frame to dst and returns the extended slice. It
 // allocates only when dst needs to grow, so a caller reusing its buffer
 // round over round encodes with zero steady-state allocations.
+//
+//hetlint:zeroalloc encode hot path; pinned by TestDecoderZeroSteadyStateAllocs and the mpc AllocsPerRun suite
 func AppendMessage(dst []byte, m *Message) ([]byte, error) {
 	plen, err := payloadLen(m)
 	if err != nil {
@@ -74,6 +78,8 @@ func AppendMessage(dst []byte, m *Message) ([]byte, error) {
 
 // parseHeader validates a 20-byte header and returns kind and payload
 // length. maxPayload <= 0 means DefaultMaxPayload.
+//
+//hetlint:zeroalloc decode hot path; pinned by TestDecoderZeroSteadyStateAllocs
 func parseHeader(h []byte, m *Message, maxPayload int) (plen int, err error) {
 	if binary.LittleEndian.Uint16(h[0:2]) != Magic {
 		return 0, fmt.Errorf("%w: bad magic 0x%04x", ErrCorrupt, binary.LittleEndian.Uint16(h[0:2]))
@@ -121,6 +127,8 @@ func parseHeader(h []byte, m *Message, maxPayload int) (plen int, err error) {
 // decodePayload fills m's payload field from body (length already validated
 // against the kind). Slice payloads alias or copy via the provided arena
 // allocators; pass nil allocators to alias body directly (DecodeMessage).
+//
+//hetlint:zeroalloc decode hot path; pinned by TestDecoderZeroSteadyStateAllocs
 func decodePayload(m *Message, body []byte) {
 	switch m.Kind {
 	case KindInt64:
@@ -160,6 +168,8 @@ func decodePayload(m *Message, body []byte) {
 // the remaining bytes. Slice payloads are decoded into m's existing
 // capacity when it suffices (so a reused Message decodes without
 // allocating). A short b returns ErrTruncated.
+//
+//hetlint:zeroalloc decode hot path; pinned by TestDecoderZeroSteadyStateAllocs
 func DecodeMessage(b []byte, m *Message) (rest []byte, err error) {
 	if len(b) < HeaderSize {
 		return b, fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(b), HeaderSize)
@@ -203,6 +213,10 @@ func (d *Decoder) Release() {
 	d.i64Off, d.u64Off, d.byteOff = 0, 0, 0
 }
 
+// growI64 extends the arena view by n, growing the backing array only past
+// its high-water mark.
+//
+//hetlint:zeroalloc arena growth is the sanctioned cap()-guarded idiom; pinned by TestDecoderZeroSteadyStateAllocs
 func growI64(arena []int64, off, n int) []int64 {
 	if off+n > cap(arena) {
 		next := make([]int64, max(2*cap(arena), off+n))
@@ -212,6 +226,9 @@ func growI64(arena []int64, off, n int) []int64 {
 	return arena[:off+n]
 }
 
+// growU64 is growI64 for the uint64 arena.
+//
+//hetlint:zeroalloc arena growth is the sanctioned cap()-guarded idiom; pinned by TestDecoderZeroSteadyStateAllocs
 func growU64(arena []uint64, off, n int) []uint64 {
 	if off+n > cap(arena) {
 		next := make([]uint64, max(2*cap(arena), off+n))
@@ -221,6 +238,9 @@ func growU64(arena []uint64, off, n int) []uint64 {
 	return arena[:off+n]
 }
 
+// growBytes is growI64 for the byte arena.
+//
+//hetlint:zeroalloc arena growth is the sanctioned cap()-guarded idiom; pinned by TestDecoderZeroSteadyStateAllocs
 func growBytes(arena []byte, off, n int) []byte {
 	if off+n > cap(arena) {
 		next := make([]byte, max(2*cap(arena), off+n))
@@ -233,6 +253,8 @@ func growBytes(arena []byte, off, n int) []byte {
 // ReadMessage reads exactly one frame from r into m. io.EOF at a frame
 // boundary is returned as io.EOF; EOF inside a frame is ErrTruncated.
 // Slice payloads point into the decoder's arenas (valid until Release).
+//
+//hetlint:zeroalloc decode hot path; pinned by TestDecoderZeroSteadyStateAllocs (arena growth is the sanctioned cap()-guarded idiom)
 func (d *Decoder) ReadMessage(r io.Reader, m *Message) error {
 	if _, err := io.ReadFull(r, d.hdr[:]); err != nil {
 		if err == io.EOF {
