@@ -2,8 +2,9 @@
 // comparison, the figure-style sweeps E2..E16, the heterogeneous-profile
 // sweeps E17..E19, the fault-injection sweeps E20..E22, the placement-policy
 // sweeps E23..E25, the trace/critical-path sweeps E26..E28, the
-// adaptive-placement sweeps E29..E31, and the wire-transport sweep E32 (see
-// DESIGN.md §2/§6/§7/§8/§9/§10/§11 and EXPERIMENTS.md).
+// adaptive-placement sweeps E29..E31, the wire-transport sweep E32, and the
+// kernel scale sweep E33 (see DESIGN.md §2/§6/§7/§8/§9/§10/§11/§14 and
+// EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -69,7 +70,7 @@ func main() {
 
 func run() int {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e32) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (table1, e2..e33) or 'all'")
 		seedFlag = flag.Uint64("seed", 7, "workload seed")
 		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonFlag = flag.Bool("json", false, "write BENCH_<exp>.json artifacts (rounds, words, makespan, wall ns, allocs) instead of text tables")
@@ -173,6 +174,10 @@ func run() int {
 			}
 			line := fmt.Sprintf("%s\trounds=%d words=%d makespan=%.3g wall=%dms allocs=%d",
 				path, art.Model.Rounds, art.Model.TotalWords, art.Model.Makespan, art.WallNS/1e6, art.Allocs)
+			if art.NsPerOp > 0 {
+				line += fmt.Sprintf(" ns/op=%d allocs/op=%d B/op=%d",
+					art.NsPerOp, art.AllocsPerOp, art.AllocBytesPerOp)
+			}
 			if art.Model.Crashes > 0 || art.Model.Checkpoints > 0 {
 				line += fmt.Sprintf(" crashes=%d recovery-rounds=%d repl-words=%d",
 					art.Model.Crashes, art.Model.RecoveryRounds, art.Model.ReplicationWords)

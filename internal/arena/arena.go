@@ -1,0 +1,175 @@
+// Package arena provides a typed slab allocator for the engine's hot paths:
+// per-round scratch that is carved from a few large slabs, handed out as
+// capacity-clamped views, and reclaimed wholesale with Reset instead of
+// being garbage collected piecemeal.
+//
+// The contract (DESIGN.md §14):
+//
+//   - Alloc(n) returns a zeroed view of exactly n elements with cap == n,
+//     so caller-side appends can never clobber a neighboring view.
+//   - Views stay valid until the next Reset: slabs are chunked, never
+//     reallocated, so later Allocs cannot move earlier ones.
+//   - Reset rewinds the arena to empty while retaining every slab, so a
+//     steady-state round allocates nothing once the high-water mark is
+//     reached (the cap()-guarded growth idiom the zeroalloc analyzer
+//     sanctions).
+//   - An Arena is not safe for concurrent use; use one per goroutine.
+//
+// Bit-identity: a value built from Alloc views is indistinguishable from
+// one built from fresh make() slices — Alloc zeroes the returned window —
+// which is what lets the engine adopt arenas under golden suites that pin
+// results bit-for-bit (see TestArenaReuseMatchesFresh).
+package arena
+
+// An Arena hands out []T views carved from chunked slabs.
+//
+// The zero value is ready to use with a default slab size; New sets an
+// explicit per-slab element count (rounded up per oversized request).
+type Arena[T any] struct {
+	slabs [][]T
+	dirty []int // per-slab high-water offset ever handed out (survives Reset)
+	cur   int   // index of the slab Alloc carves from
+	off   int   // elements of slabs[cur] already handed out
+	chunk int   // slab size floor, in elements
+	used  int   // elements handed out since the last Reset
+}
+
+// DefaultChunk is the slab size floor (in elements) of a zero-value Arena.
+const DefaultChunk = 1024
+
+// New returns an arena whose slabs hold at least chunk elements each.
+func New[T any](chunk int) *Arena[T] {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Arena[T]{chunk: chunk}
+}
+
+// Alloc returns a zeroed n-element view with cap n. The view stays valid
+// until the next Reset. n == 0 returns a zero-length view of the current
+// slab (nil before the first slab exists), matching the semantics of a
+// fresh zero-length make.
+//
+//hetlint:zeroalloc steady-state Alloc reuses warm slabs; growth is the sanctioned cap()-guarded idiom (pinned by TestArenaSteadyStateAllocs)
+func (a *Arena[T]) Alloc(n int) []T {
+	s, slab, start := a.carve(n)
+	if slab < 0 {
+		return s
+	}
+	// Clear only the prefix a previous cycle dirtied: make() delivered the
+	// slab zeroed, so memory past the slab's all-time high-water mark has
+	// never been written and needs no pass (the dominant cost of bulk
+	// sketch allocation before this short-circuit; TestArenaCleanTailIsZero
+	// pins the correctness side).
+	if d := a.dirty[slab]; start < d {
+		end := d - start
+		if end > n {
+			end = n
+		}
+		clear(s[:end])
+	}
+	if start+n > a.dirty[slab] {
+		a.dirty[slab] = start + n
+	}
+	return s
+}
+
+// AllocUninit is Alloc without the zeroing pass: the returned view holds
+// whatever the slab last held, so the caller must overwrite all n elements
+// before reading any. Decoders that fill every element use it to skip the
+// redundant clear.
+//
+//hetlint:zeroalloc steady-state Alloc reuses warm slabs; growth is the sanctioned cap()-guarded idiom (pinned by TestArenaSteadyStateAllocs)
+func (a *Arena[T]) AllocUninit(n int) []T {
+	s, slab, start := a.carve(n)
+	if slab >= 0 && start+n > a.dirty[slab] {
+		a.dirty[slab] = start + n
+	}
+	return s
+}
+
+// carve hands out the next n-element window: the view, the slab it came
+// from and the start offset within it (slab -1 for the zero-length case).
+//
+//hetlint:zeroalloc steady-state Alloc reuses warm slabs; growth is the sanctioned cap()-guarded idiom (pinned by TestArenaSteadyStateAllocs)
+func (a *Arena[T]) carve(n int) ([]T, int, int) {
+	if n < 0 {
+		panic("arena: negative Alloc") // programming error, not data error
+	}
+	if n == 0 {
+		if a.cur < len(a.slabs) {
+			s := a.slabs[a.cur]
+			return s[a.off:a.off:a.off], -1, 0
+		}
+		return nil, -1, 0
+	}
+	if a.cur >= len(a.slabs) || a.off+n > cap(a.slabs[a.cur]) {
+		a.advance(n)
+	}
+	start := a.off
+	s := a.slabs[a.cur][start : start+n : start+n]
+	a.off += n
+	a.used += n
+	return s, a.cur, start
+}
+
+// advance moves to the next slab able to hold n elements, appending a new
+// slab only past the high-water mark. Slabs grow geometrically — each new
+// slab is at least as large as the arena's total existing capacity, with
+// chunk as the floor — so a small cluster pays only for small slabs while
+// a large run reaches its footprint in O(log) allocations. Oversized
+// requests get a slab of exactly n elements so they reuse cleanly.
+func (a *Arena[T]) advance(n int) {
+	if a.cur < len(a.slabs) && a.off > 0 {
+		a.cur++ // abandon the tail of the active slab
+	}
+	for a.cur < len(a.slabs) {
+		if n <= cap(a.slabs[a.cur]) {
+			a.off = 0
+			return
+		}
+		a.cur++ // too small for this request; later requests may fit it
+	}
+	size := a.chunk
+	if size < 1 {
+		size = DefaultChunk
+	}
+	if total := a.Cap(); size < total {
+		size = total // geometric growth: double the footprint per new slab
+	}
+	if size < n {
+		size = n
+	}
+	a.slabs = append(a.slabs, make([]T, size))
+	a.dirty = append(a.dirty, 0)
+	a.cur = len(a.slabs) - 1
+	a.off = 0
+}
+
+// Reset rewinds the arena: every view handed out since the previous Reset
+// becomes invalid, every slab is retained for reuse. Alloc zeroes on the
+// way out, so stale contents can never leak into a post-Reset view.
+func (a *Arena[T]) Reset() {
+	a.cur, a.off, a.used = 0, 0, 0
+}
+
+// Used returns the number of elements handed out since the last Reset.
+func (a *Arena[T]) Used() int { return a.used }
+
+// Cap returns the total element capacity across all slabs — the arena's
+// high-water footprint.
+func (a *Arena[T]) Cap() int {
+	total := 0
+	for _, s := range a.slabs {
+		total += cap(s)
+	}
+	return total
+}
+
+// Drop releases every slab to the garbage collector. Unlike Reset it
+// surrenders the high-water capacity: the next Alloc starts growing from
+// scratch. Clusters call it when they are reset mid-run so scratch memory
+// is returned rather than leaked into the next, possibly smaller, run.
+func (a *Arena[T]) Drop() {
+	a.slabs, a.dirty, a.cur, a.off, a.used = nil, nil, 0, 0, 0
+}

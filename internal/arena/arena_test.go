@@ -1,0 +1,239 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator so the property tests fuzz sizes
+// without importing the engine's rng (no Date/rand dependence in tests that
+// pin allocation behavior).
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l)
+}
+
+func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }
+
+// TestArenaReuseMatchesFresh is the arena contract's property test: across
+// Reset cycles with fuzzed allocation sizes, a value built from arena views
+// is bit-identical to one built from fresh make() slices fed the same
+// writes. Exercised over several chunk sizes so carving crosses slab
+// boundaries, hits oversized dedicated slabs, and reuses mixed-size slabs
+// out of order.
+func TestArenaReuseMatchesFresh(t *testing.T) {
+	for _, chunk := range []int{1, 3, 16, 128} {
+		a := New[int64](chunk)
+		rng := lcg(uint64(chunk) * 0x9E3779B97F4A7C15)
+		for cycle := 0; cycle < 50; cycle++ {
+			views := make([][]int64, 0, 32)
+			fresh := make([][]int64, 0, 32)
+			nAllocs := 1 + rng.intn(31)
+			for i := 0; i < nAllocs; i++ {
+				n := rng.intn(3 * chunk)
+				v, f := a.Alloc(n), make([]int64, n)
+				if len(v) != n || cap(v) != n {
+					t.Fatalf("chunk %d cycle %d: Alloc(%d) returned len %d cap %d", chunk, cycle, n, len(v), cap(v))
+				}
+				for j := range v {
+					x := int64(rng.next() >> 1)
+					v[j], f[j] = x, x
+				}
+				views, fresh = append(views, v), append(fresh, f)
+			}
+			// Every view must still hold exactly its writes — i.e. later
+			// Allocs didn't alias or move earlier views, and the post-Reset
+			// zeroing didn't leak stale contents in.
+			for i := range views {
+				for j := range views[i] {
+					if views[i][j] != fresh[i][j] {
+						t.Fatalf("chunk %d cycle %d: view %d[%d] = %d, fresh %d", chunk, cycle, i, j, views[i][j], fresh[i][j])
+					}
+				}
+			}
+			a.Reset()
+			if a.Used() != 0 {
+				t.Fatalf("Used() = %d after Reset", a.Used())
+			}
+		}
+	}
+}
+
+// TestArenaViewsAreCapClamped pins the no-clobber guarantee: appending past
+// a view's length lands in a fresh backing array, never in the neighbor.
+func TestArenaViewsAreCapClamped(t *testing.T) {
+	a := New[int32](64)
+	v1 := a.Alloc(4)
+	v2 := a.Alloc(4)
+	for i := range v1 {
+		v1[i] = 1
+	}
+	for i := range v2 {
+		v2[i] = 2
+	}
+	_ = append(v1, 99) // must copy out, not overwrite v2[0]
+	if v2[0] != 2 {
+		t.Fatalf("append past a view clobbered its neighbor: v2[0] = %d", v2[0])
+	}
+}
+
+// TestArenaZeroLengthAlloc pins the zero-length semantics: nil before the
+// first slab exists (matching a nil slice), empty non-nil afterwards
+// (matching a warm decoder arena) — the wire decoder depends on this.
+func TestArenaZeroLengthAlloc(t *testing.T) {
+	a := New[uint64](8)
+	if v := a.Alloc(0); v != nil {
+		t.Fatalf("Alloc(0) on a virgin arena = %v, want nil", v)
+	}
+	a.Alloc(1)
+	if v := a.Alloc(0); v == nil || len(v) != 0 {
+		t.Fatalf("Alloc(0) on a warm arena = %v (nil=%v), want empty non-nil", v, v == nil)
+	}
+}
+
+// TestArenaSteadyStateAllocs pins the zeroalloc contract: once the
+// high-water mark is reached, a Reset/Alloc cycle performs zero heap
+// allocations.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	a := New[int64](256)
+	cycle := func() {
+		a.Reset()
+		for i := 0; i < 8; i++ {
+			v := a.Alloc(100)
+			v[0] = int64(i)
+		}
+	}
+	cycle() // warm to the high-water mark
+	if got := testing.AllocsPerRun(100, cycle); got != 0 {
+		t.Fatalf("steady-state Reset/Alloc cycle allocates %v times per run, want 0", got)
+	}
+}
+
+// TestArenaCleanTailIsZero pins the dirty-watermark short-circuit: Alloc
+// skips the clearing pass for slab memory no previous cycle handed out, so
+// interleavings of AllocUninit garbage, Reset and Alloc across the
+// watermark must still always yield zeroed Alloc views.
+func TestArenaCleanTailIsZero(t *testing.T) {
+	a := New[int64](64)
+	u := a.AllocUninit(10)
+	for i := range u {
+		u[i] = -1 // dirty the first 10 elements
+	}
+	a.Reset()
+	// Straddles the watermark: [0,10) needs the clear, [10,20) is clean.
+	v := a.Alloc(20)
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("post-Reset Alloc view dirty at [%d]: %d", i, x)
+		}
+	}
+	for i := range v {
+		v[i] = -2
+	}
+	a.Reset()
+	// Now the full 20 are dirty; a larger window straddles again.
+	w := a.Alloc(40)
+	for i, x := range w {
+		if x != 0 {
+			t.Fatalf("second-cycle Alloc view dirty at [%d]: %d", i, x)
+		}
+	}
+}
+
+// TestArenaDropReleasesCapacity verifies the mid-run reset path: Drop
+// surrenders the slabs and the arena grows back from scratch.
+func TestArenaDropReleasesCapacity(t *testing.T) {
+	a := New[byte](512)
+	a.Alloc(1000)
+	if a.Cap() == 0 {
+		t.Fatal("Cap() = 0 after Alloc")
+	}
+	a.Drop()
+	if a.Cap() != 0 || a.Used() != 0 {
+		t.Fatalf("Drop left Cap=%d Used=%d", a.Cap(), a.Used())
+	}
+	v := a.Alloc(10)
+	if len(v) != 10 {
+		t.Fatalf("post-Drop Alloc returned len %d", len(v))
+	}
+}
+
+// TestArenaConcurrentPerGoroutine runs one arena per goroutine under -race:
+// the documented concurrency contract is per-goroutine ownership, and this
+// is the regression net that the package keeps no hidden shared state.
+func TestArenaConcurrentPerGoroutine(t *testing.T) {
+	var wg sync.WaitGroup
+	errs := make([]string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a := New[uint32](64)
+			rng := lcg(uint64(g + 1))
+			for cycle := 0; cycle < 200; cycle++ {
+				views := make([][]uint32, 0, 8)
+				for i := 0; i < 8; i++ {
+					v := a.Alloc(rng.intn(200))
+					for j := range v {
+						v[j] = uint32(g)<<16 | uint32(i)<<8 | uint32(j)
+					}
+					views = append(views, v)
+				}
+				for i, v := range views {
+					for j := range v {
+						if want := uint32(g)<<16 | uint32(i)<<8 | uint32(j); v[j] != want {
+							errs[g] = "corrupted view"
+							return
+						}
+					}
+				}
+				a.Reset()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, e := range errs {
+		if e != "" {
+			t.Fatalf("goroutine %d: %s", g, e)
+		}
+	}
+}
+
+// FuzzArenaAllocSizes drives the arena with arbitrary byte-derived size
+// sequences and checks the cap-clamp and zeroing invariants hold for every
+// view on every cycle.
+func FuzzArenaAllocSizes(f *testing.F) {
+	f.Add([]byte{1, 0, 255, 7}, uint8(3))
+	f.Add([]byte{16, 16, 16}, uint8(1))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, sizes []byte, chunk uint8) {
+		a := New[int16](int(chunk))
+		for cycle := 0; cycle < 3; cycle++ {
+			views := make([][]int16, 0, len(sizes))
+			for _, b := range sizes {
+				n := int(b)
+				v := a.Alloc(n)
+				if len(v) != n || cap(v) != n {
+					t.Fatalf("Alloc(%d): len %d cap %d", n, len(v), cap(v))
+				}
+				for j := range v {
+					if v[j] != 0 {
+						t.Fatalf("Alloc returned dirty memory at [%d]: %d", j, v[j])
+					}
+					v[j] = int16(len(views) + 1)
+				}
+				views = append(views, v)
+			}
+			for i, v := range views {
+				for j := range v {
+					if v[j] != int16(i+1) {
+						t.Fatalf("view %d[%d] corrupted: %d", i, j, v[j])
+					}
+				}
+			}
+			a.Reset()
+		}
+	})
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"slices"
 	"sort"
 
 	"hetmpc/internal/graph"
@@ -70,6 +69,14 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 		families[t] = sketch.NewFamilyLevels(levels, xrand.Split(seed, uint64(t)+1))
 	}
 	skWords := families[0].NewSketch(universe).Words()
+	// One edge updater per family: precomputed fingerprint power tables plus
+	// a shared hash/fingerprint evaluation for the two endpoint updates of
+	// each edge. Updaters are read-only and shared across the small-machine
+	// goroutines.
+	updaters := make([]*sketch.EdgeUpdater, phases)
+	for t := range updaters {
+		updaters[t] = families[t].NewEdgeUpdater(n)
+	}
 
 	// Small machines: partial sketches per (phase, vertex), merged by
 	// aggregation with the linear Merge combine. The whole block is the
@@ -83,24 +90,27 @@ func Connectivity(c *mpc.Cluster, g *graph.Graph) (*ConnectivityResult, error) {
 			arenas[t] = families[t].NewArena(universe)
 		}
 		partial := make(map[int64]*sketch.Sketch)
+		sketchFor := func(t int, v int) *sketch.Sketch {
+			key := int64(t)*int64(n) + int64(v)
+			s, ok := partial[key]
+			if !ok {
+				s = arenas[t].NewSketch()
+				partial[key] = s
+			}
+			return s
+		}
 		for _, e := range edges[i] {
 			for t := 0; t < phases; t++ {
-				for _, v := range [2]int{e.U, e.V} {
-					key := int64(t)*int64(n) + int64(v)
-					s, ok := partial[key]
-					if !ok {
-						s = arenas[t].NewSketch()
-						partial[key] = s
-					}
-					families[t].AddEdgeIncidence(s, v, e, n)
-				}
+				su := sketchFor(t, e.U)
+				sv := sketchFor(t, e.V)
+				updaters[t].AddEdgeBoth(su, sv, e)
 			}
 		}
 		keys := make([]int64, 0, len(partial))
 		for key := range partial {
 			keys = append(keys, key)
 		}
-		slices.Sort(keys)
+		prims.SortInts(keys)
 		for _, key := range keys {
 			items[i] = append(items[i], prims.KV[*sketch.Sketch]{K: key, V: partial[key]})
 		}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"cmp"
 	"fmt"
 	"math"
 	"slices"
@@ -54,6 +53,7 @@ func MaximalMatching(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) {
 	// Degrees and the low/high threshold.
 	degItems := make([][]prims.KV[int64], kk)
 	if err := c.ForSmall(func(i int) error {
+		degItems[i] = make([]prims.KV[int64], 0, 2*len(edges[i]))
 		for _, e := range edges[i] {
 			degItems[i] = append(degItems[i],
 				prims.KV[int64]{K: int64(e.U), V: 1},
@@ -135,6 +135,7 @@ func MaximalMatching(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) {
 	}
 	directed := make([][]rankedEdge, kk)
 	if err := c.ForSmall(func(i int) error {
+		directed[i] = make([]rankedEdge, 0, 2*len(edges[i]))
 		for _, e := range edges[i] {
 			r := rankHash.Eval(uint64(e.Key(n)))
 			directed[i] = append(directed[i],
@@ -167,7 +168,7 @@ func MaximalMatching(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) {
 			highs = append(highs, v)
 		}
 	}
-	slices.Sort(highs)
+	prims.SortInts(highs)
 	for _, v := range highs {
 		if matchedAt[v] {
 			continue
@@ -331,28 +332,30 @@ func MatchingFiltering(c *mpc.Cluster, g *graph.Graph) (*MatchingResult, error) 
 	return res, nil
 }
 
+// sortEdgesStable orders edges by (U, V, W) through the local-sort kernel
+// (the key covers every field, so the order is total and stability is
+// vacuous; the name records the original comparator's contract).
 func sortEdgesStable(es []graph.Edge) {
-	slices.SortStableFunc(es, func(a, b graph.Edge) int {
-		if c := graph.CompareEndpoints(a, b); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.W, b.W)
+	prims.SortLocal(es, func(e graph.Edge) prims.SortKey {
+		return prims.SortKey{A: int64(e.U), B: int64(e.V), C: e.W}
 	})
 }
 
+// endpointNeedsOf returns each machine's deduplicated endpoint key list,
+// sorted. Like sublinear's endpointNeeds, dedup is sort + compact: the hash
+// set it replaces was a fixed per-round map cost on every edge.
 func endpointNeedsOf(edges [][]graph.Edge) [][]int64 {
 	needs := make([][]int64, len(edges))
 	for i := range edges {
-		seen := make(map[int64]bool, 2*len(edges[i]))
-		for _, e := range edges[i] {
-			for _, v := range [2]int{e.U, e.V} {
-				if !seen[int64(v)] {
-					seen[int64(v)] = true
-					needs[i] = append(needs[i], int64(v))
-				}
-			}
+		if len(edges[i]) == 0 {
+			continue
 		}
-		slices.Sort(needs[i])
+		vs := make([]int64, 0, 2*len(edges[i]))
+		for _, e := range edges[i] {
+			vs = append(vs, int64(e.U), int64(e.V))
+		}
+		prims.SortInts(vs)
+		needs[i] = slices.Compact(vs)
 	}
 	return needs
 }

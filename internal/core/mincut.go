@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"slices"
 
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
@@ -136,7 +135,7 @@ func minCutTrial(c *mpc.Cluster, edges [][]graph.Edge, needs [][]int64, n int, c
 	for v := range atLarge {
 		keys = append(keys, v)
 	}
-	slices.Sort(keys)
+	prims.SortInts(keys)
 	for _, v := range keys {
 		to := atLarge[v]
 		dsu.Union(int(v), to.E1.Other(int(v)))
@@ -215,7 +214,7 @@ func minCutTrial(c *mpc.Cluster, edges [][]graph.Edge, needs [][]int64, n int, c
 	for key := range sampledPairs {
 		spKeys = append(spKeys, key)
 	}
-	slices.Sort(spKeys)
+	prims.SortInts(spKeys)
 	for _, key := range spKeys {
 		dsu.Union(int(key/int64(n)), int(key%int64(n)))
 	}

@@ -392,7 +392,7 @@ func dedupParallel(c *mpc.Cluster, edges [][]cEdge, n int) ([][]cEdge, error) {
 		for k := range roots[i] {
 			keys = append(keys, k)
 		}
-		slices.Sort(keys)
+		prims.SortInts(keys)
 		out[i] = make([]cEdge, 0, len(keys))
 		for _, k := range keys {
 			out[i] = append(out[i], roots[i][k])

@@ -379,7 +379,7 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 		for key := range ceRoots[i] {
 			keys = append(keys, key)
 		}
-		slices.Sort(keys)
+		prims.SortInts(keys)
 		for _, key := range keys {
 			lvl := int(key / n2)
 			perLvl[i][lvl] = append(perLvl[i][lvl], ceRoots[i][key])
@@ -656,7 +656,7 @@ func Spanner(c *mpc.Cluster, g *graph.Graph, k int) (*SpannerResult, error) {
 		for key := range remRoots[i] {
 			keys = append(keys, key)
 		}
-		slices.Sort(keys)
+		prims.SortInts(keys)
 		for _, key := range keys {
 			remData[i] = append(remData[i], remRoots[i][key].Orig)
 		}

@@ -132,13 +132,21 @@ type Artifact struct {
 	// (DESIGN.md §11) guarantees the model numbers are bit-identical either
 	// way, but the artifact gains a nonzero wire_bytes, so it is re-named
 	// like the other overrides to protect the committed baseline.
-	Transport  string     `json:"transport,omitempty"`
-	GoVersion  string     `json:"go_version"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	WallNS     int64      `json:"wall_ns"`
-	Allocs     uint64     `json:"allocs"`
-	AllocBytes uint64     `json:"alloc_bytes"`
-	Model      ModelStats `json:"model"`
+	Transport  string `json:"transport,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	WallNS     int64  `json:"wall_ns"`
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Per-op normalization of the host metrics, where one "op" is one
+	// engine round (Model.Rounds) — the unit the alloc-regression CI job
+	// tracks across PRs, stable against experiments adding or removing
+	// whole cells. Omitted when the run recorded no rounds. Additive
+	// omitempty fields, so no schema bump.
+	NsPerOp         int64      `json:"ns_per_op,omitempty"`
+	AllocsPerOp     uint64     `json:"allocs_per_op,omitempty"`
+	AllocBytesPerOp uint64     `json:"alloc_bytes_per_op,omitempty"`
+	Model           ModelStats `json:"model"`
 	// Trace is the phase-timeline summary, present when at least one
 	// cluster of the run carried a trace collector — experiments that
 	// trace themselves (E26–E28) and any experiment run under SetTrace
@@ -294,6 +302,11 @@ func RunFull(id string, seed uint64) (*Artifact, []trace.Round, error) {
 	// that their stats and traces have been read (no-op for inproc).
 	for _, c := range clusters {
 		c.Close()
+	}
+	if r := a.Model.Rounds; r > 0 {
+		a.NsPerOp = a.WallNS / int64(r)
+		a.AllocsPerOp = a.Allocs / uint64(r)
+		a.AllocBytesPerOp = a.AllocBytes / uint64(r)
 	}
 	if traced > 0 {
 		s := trace.Summarize(rounds)

@@ -1,0 +1,6 @@
+//go:build !race
+
+package exp
+
+// raceEnabled reports that the race detector is active; see race_on.go.
+const raceEnabled = false

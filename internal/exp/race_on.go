@@ -1,0 +1,9 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports that the race detector is active: the E33 scale sweep
+// shrinks its cells there — the detector slows the hot kernels by an order
+// of magnitude, and the sweep's contract (ref/fast equivalence) is
+// size-independent.
+const raceEnabled = true

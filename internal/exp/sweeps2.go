@@ -290,10 +290,11 @@ func All() map[string]func(seed uint64) (*Table, error) {
 		"e30":    E30MisreportedProfile,
 		"e31":    E31AdaptiveTransientSlowdown,
 		"e32":    E32TransportSweep,
+		"e33":    E33ScaleSweep,
 	}
 }
 
 // Order is the canonical experiment ordering for "run everything".
 func Order() []string {
-	return []string{"table1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "e28", "e29", "e30", "e31", "e32"}
+	return []string{"table1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "e28", "e29", "e30", "e31", "e32", "e33"}
 }

@@ -12,14 +12,20 @@ import (
 //
 //  1. plan (parallel over senders): stamp From, validate destinations, and
 //     build per-sender destination entries — (destination, count, words) in
-//     first-seen order — so capacity accounting reads running counters
-//     instead of re-walking messages;
-//  2. layout (sequential, O(#entries + K)): assign every entry its start
-//     offset within the destination inbox, in the fixed sender order (large
+//     first-seen order — plus the per-message flat-offset table (entry
+//     index, offset within the entry's window), so capacity accounting
+//     reads running counters and delivery is a pure scatter;
+//  2. layout (sequential, O(#entries + K)): assign every entry its absolute
+//     start offset within the flat inbox, in the fixed sender order (large
 //     machine first, then small machines 0..K-1), and check the receive
-//     caps against the per-destination word totals;
-//  3. deliver (parallel over senders): copy messages into a single flat
-//     inbox allocation at their precomputed offsets.
+//     caps against the per-destination word totals. When the round's
+//     topology — the (sender, destination, count) shape — matches the
+//     previous round's, the cached offsets are reused and only the word
+//     totals are re-accumulated (iterative algorithms repeat a topology for
+//     many rounds, so the steady state skips the prefix sums entirely);
+//  3. deliver (parallel over senders): a single offset-indexed copy loop
+//     into the flat inbox — flat[entry.start+msgOff[j]] = msgs[j] — with no
+//     map lookups or cursor mutation on the hot path.
 //
 // After delivery a serial stats pass reads the same counters to update the
 // traffic totals and the simulated makespan: each machine is charged
@@ -33,10 +39,11 @@ import (
 // setting — delivery order remains "large machine's messages first, then
 // small senders in increasing id, each sender's messages in submission
 // order". All validation errors are collected and reported in that same
-// deterministic order. Scratch state (plans, counters, worker slot maps) is
-// pooled on the Cluster and reused across rounds, so a steady-state round
-// performs exactly two allocations: the flat message array and the top-level
-// inbox index, both of which are handed to the caller.
+// deterministic order. Scratch state (plans, counters, offset tables, the
+// topology cache) is pooled on the Cluster and reused across rounds, so a
+// steady-state round performs exactly two allocations: the flat message
+// array and the top-level inbox index, both of which are handed to the
+// caller.
 //
 // Exchange is not safe for concurrent use; the model is synchronous rounds.
 
@@ -45,8 +52,9 @@ type destEntry struct {
 	slot  int // destination slot: 0 = large machine, 1+i = small machine i
 	count int // messages from this sender to this destination
 	words int // words from this sender to this destination
-	start int // offset of the first message within the destination inbox;
-	// reused as the copy cursor during delivery
+	start int // layout phase: offset of the entry's first message — relative
+	// to the destination inbox while counting, absolute in the flat
+	// array once the slot bases are folded in
 }
 
 // senderPlan is one sender's routing plan for the round.
@@ -55,7 +63,24 @@ type senderPlan struct {
 	msgs    []Msg
 	words   int // total words sent (send-cap accounting)
 	entries []destEntry
-	err     error // first validation/cap error of this sender
+	entIdx  []int32 // per message: index into entries
+	msgOff  []int32 // per message: offset within its entry's inbox window
+	err     error   // first validation/cap error of this sender
+}
+
+// topoEnt is one cached routing entry of the previous round's topology:
+// the (slot, count) pair it must match and the absolute start offset it
+// grants on a hit.
+type topoEnt struct {
+	slot  int
+	count int
+	start int
+}
+
+// topoPlan is one cached sender of the previous round's topology.
+type topoPlan struct {
+	from     int
+	nEntries int
 }
 
 // exchScratch holds the pooled per-round routing state.
@@ -66,6 +91,15 @@ type exchScratch struct {
 	sendWords []int // per sender slot, words sent (makespan accounting)
 	slotBase  []int // per destination slot, base offset in the flat inbox
 	slotPool  sync.Pool
+
+	// Flat-offset topology cache: the previous round's routing shape and
+	// its computed offsets. Verified against the live plans every round
+	// (an exact compare, so staleness is impossible) and rebuilt on miss.
+	topoValid bool
+	topoPlans []topoPlan
+	topoEnts  []topoEnt
+	topoCount []int // recvCount snapshot of the cached topology
+	topoBase  []int // slotBase snapshot of the cached topology
 }
 
 func newExchScratch(k int) *exchScratch {
@@ -74,12 +108,25 @@ func newExchScratch(k int) *exchScratch {
 		recvWords: make([]int, k+1),
 		sendWords: make([]int, k+1),
 		slotBase:  make([]int, k+1),
+		topoCount: make([]int, k+1),
+		topoBase:  make([]int, k+1),
 	}
 	sc.slotPool.New = func() any {
 		s := make([]int32, k+1)
 		return &s
 	}
 	return sc
+}
+
+// release returns the traffic-proportional scratch to the garbage collector
+// and invalidates the topology cache. ResetStats calls it so a reused
+// cluster does not leak the previous run's high-water footprint, and so a
+// reset cluster's steady-state allocation profile matches a fresh one.
+// The fixed-size per-slot counters (K+1 ints) are retained.
+func (sc *exchScratch) release() {
+	sc.plans = nil
+	sc.topoValid = false
+	sc.topoPlans, sc.topoEnts = nil, nil
 }
 
 // destSlot maps a message destination to its slot, validating it.
@@ -215,14 +262,33 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 		}
 	}
 
-	// Phase 2: offsets and receive-cap accounting, in sender order.
-	for s := range plans {
-		p := &plans[s]
-		for ei := range p.entries {
-			e := &p.entries[ei]
-			e.start = sc.recvCount[e.slot]
-			sc.recvCount[e.slot] += e.count
-			sc.recvWords[e.slot] += e.words
+	// Phase 2: offsets and receive-cap accounting, in sender order. On a
+	// topology hit the cached absolute offsets are restored and only the
+	// word totals are accumulated; on a miss the offsets are computed from
+	// scratch (relative here, absolutized with the slot bases below).
+	hit := sc.topoMatch(plans)
+	if hit {
+		copy(sc.recvCount, sc.topoCount)
+		copy(sc.slotBase, sc.topoBase)
+		ti := 0
+		for s := range plans {
+			p := &plans[s]
+			for ei := range p.entries {
+				e := &p.entries[ei]
+				e.start = sc.topoEnts[ti].start
+				ti++
+				sc.recvWords[e.slot] += e.words
+			}
+		}
+	} else {
+		for s := range plans {
+			p := &plans[s]
+			for ei := range p.entries {
+				e := &p.entries[ei]
+				e.start = sc.recvCount[e.slot]
+				sc.recvCount[e.slot] += e.count
+				sc.recvWords[e.slot] += e.words
+			}
 		}
 	}
 	if sc.recvWords[0] > c.largeCap {
@@ -238,12 +304,14 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 
 	// Phase 3: carve the flat inbox array into per-destination windows. The
 	// three-index slices keep caller-side appends from clobbering neighbors.
-	flat := make([]Msg, totalMsgs)
-	base := 0
-	for slot := 0; slot <= c.k; slot++ {
-		sc.slotBase[slot] = base
-		base += sc.recvCount[slot]
+	if !hit {
+		base := 0
+		for slot := 0; slot <= c.k; slot++ {
+			sc.slotBase[slot] = base
+			base += sc.recvCount[slot]
+		}
 	}
+	flat := make([]Msg, totalMsgs)
 	if n := sc.recvCount[0]; n > 0 {
 		inLarge = flat[0:n:n]
 	}
@@ -252,6 +320,9 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 			b := sc.slotBase[1+i]
 			ins[i] = flat[b : b+n : b+n]
 		}
+	}
+	if !hit {
+		sc.rebuildTopo(plans, c.k)
 	}
 
 	// Phase 4: deliver at the precomputed offsets. Under a transport the
@@ -272,16 +343,12 @@ func (c *Cluster) Exchange(outs [][]Msg, outLarge []Msg) (ins [][]Msg, inLarge [
 			return nil, nil, werr
 		}
 	} else if serial {
-		slotOf := sc.getSlots()
 		for s := range plans {
-			sc.copySender(&plans[s], slotOf, flat)
+			sc.scatterSender(&plans[s], flat)
 		}
-		sc.putSlots(slotOf)
 	} else {
 		_ = parallelN(len(plans), func(s int) error {
-			slotOf := sc.getSlots()
-			sc.copySender(&plans[s], slotOf, flat)
-			sc.putSlots(slotOf)
+			sc.scatterSender(&plans[s], flat)
 			return nil
 		})
 	}
@@ -371,10 +438,65 @@ func senderSlot(from int) int {
 // run inline: goroutine fan-out costs more than it saves on light rounds.
 const serialRoundThreshold = 2048
 
+// topoMatch reports whether the live plans have exactly the cached
+// topology: the same senders, in the same order, with the same
+// (destination, count) entries. A pure compare — no side effects — so a
+// mid-walk mismatch leaves nothing to undo. Word totals are deliberately
+// not compared: they vary round to round without moving any offset.
+func (sc *exchScratch) topoMatch(plans []senderPlan) bool {
+	if !sc.topoValid || len(plans) != len(sc.topoPlans) {
+		return false
+	}
+	ti := 0
+	for s := range plans {
+		p := &plans[s]
+		tp := &sc.topoPlans[s]
+		if tp.from != p.from || tp.nEntries != len(p.entries) {
+			return false
+		}
+		for ei := range p.entries {
+			te := &sc.topoEnts[ti+ei]
+			if te.slot != p.entries[ei].slot || te.count != p.entries[ei].count {
+				return false
+			}
+		}
+		ti += len(p.entries)
+	}
+	return true
+}
+
+// rebuildTopo absolutizes the entry offsets (folding the slot bases in, so
+// delivery indexes the flat array directly) and snapshots the round's
+// topology for reuse: shape, offsets, and the per-slot count/base arrays.
+func (sc *exchScratch) rebuildTopo(plans []senderPlan, k int) {
+	sc.topoPlans = sc.topoPlans[:0]
+	sc.topoEnts = sc.topoEnts[:0]
+	for s := range plans {
+		p := &plans[s]
+		sc.topoPlans = append(sc.topoPlans, topoPlan{from: p.from, nEntries: len(p.entries)})
+		for ei := range p.entries {
+			e := &p.entries[ei]
+			e.start += sc.slotBase[e.slot]
+			sc.topoEnts = append(sc.topoEnts, topoEnt{slot: e.slot, count: e.count, start: e.start})
+		}
+	}
+	copy(sc.topoCount, sc.recvCount[:k+1])
+	copy(sc.topoBase, sc.slotBase[:k+1])
+	sc.topoValid = true
+}
+
 // planSender stamps From, validates destinations, builds the sender's
-// destination entries and checks its send cap. slotOf is a zeroed scratch
-// map (destination slot → 1+entry index) and is re-zeroed before returning.
+// destination entries and per-message offset table, and checks its send
+// cap. slotOf is a zeroed scratch map (destination slot → 1+entry index)
+// and is re-zeroed before returning.
 func (c *Cluster) planSender(p *senderPlan, slotOf []int32) {
+	n := len(p.msgs)
+	if cap(p.entIdx) < n {
+		p.entIdx = make([]int32, n)
+		p.msgOff = make([]int32, n)
+	}
+	p.entIdx = p.entIdx[:n]
+	p.msgOff = p.msgOff[:n]
 	words := 0
 	for j := range p.msgs {
 		m := &p.msgs[j]
@@ -385,6 +507,7 @@ func (c *Cluster) planSender(p *senderPlan, slotOf []int32) {
 			if p.err == nil {
 				p.err = derr
 			}
+			p.entIdx[j], p.msgOff[j] = 0, 0
 			continue
 		}
 		e := slotOf[slot]
@@ -394,6 +517,8 @@ func (c *Cluster) planSender(p *senderPlan, slotOf []int32) {
 			slotOf[slot] = e
 		}
 		ent := &p.entries[e-1]
+		p.entIdx[j] = e - 1
+		p.msgOff[j] = int32(ent.count)
 		ent.count++
 		ent.words += m.Words
 	}
@@ -407,27 +532,28 @@ func (c *Cluster) planSender(p *senderPlan, slotOf []int32) {
 	}
 }
 
-// copySender copies one sender's messages into the flat inbox array at the
-// offsets fixed during layout. slotOf is a zeroed scratch map and is
-// re-zeroed before returning.
+// scatterSender copies one sender's messages into the flat inbox array at
+// the offsets fixed during planning and layout: a single offset-indexed
+// copy loop, unrolled 4-wide. No map lookups and no cursor mutation — the
+// entry starts are absolute and the per-message offsets were assigned in
+// the plan phase — so the loop body is pure loads and stores.
 //
 //hetlint:zeroalloc deliver inner loop; pinned by TestNilMetricsZeroAlloc and BenchmarkExchangeNilMetrics
-func (sc *exchScratch) copySender(p *senderPlan, slotOf []int32, flat []Msg) {
-	for ei := range p.entries {
-		slotOf[p.entries[ei].slot] = int32(ei + 1)
+func (sc *exchScratch) scatterSender(p *senderPlan, flat []Msg) {
+	msgs := p.msgs
+	ents := p.entries
+	entIdx := p.entIdx[:len(msgs)]
+	msgOff := p.msgOff[:len(msgs)]
+	j := 0
+	for ; j+4 <= len(msgs); j += 4 {
+		e0, e1, e2, e3 := entIdx[j], entIdx[j+1], entIdx[j+2], entIdx[j+3]
+		flat[ents[e0].start+int(msgOff[j])] = msgs[j]
+		flat[ents[e1].start+int(msgOff[j+1])] = msgs[j+1]
+		flat[ents[e2].start+int(msgOff[j+2])] = msgs[j+2]
+		flat[ents[e3].start+int(msgOff[j+3])] = msgs[j+3]
 	}
-	for j := range p.msgs {
-		m := &p.msgs[j]
-		slot := 1 + m.To
-		if m.To == Large {
-			slot = 0
-		}
-		ent := &p.entries[slotOf[slot]-1]
-		flat[sc.slotBase[slot]+ent.start] = *m
-		ent.start++
-	}
-	for ei := range p.entries {
-		slotOf[p.entries[ei].slot] = 0
+	for ; j < len(msgs); j++ {
+		flat[ents[entIdx[j]].start+int(msgOff[j])] = msgs[j]
 	}
 }
 

@@ -493,6 +493,16 @@ func (c *Cluster) ResetStats() {
 			c.wn.bytes[i] = 0
 		}
 	}
+	// Traffic-proportional scratch — routing plans, offset tables, the
+	// topology cache, encode buffers and decoder arenas — is returned to
+	// the garbage collector rather than leaked into the next run: a reset
+	// cluster's steady-state allocation profile must match a fresh one
+	// (TestResetStatsScratchMatchesFresh), and a big run's high-water
+	// footprint must not pin memory under a later small one.
+	c.exch.release()
+	if c.wn != nil {
+		c.wn.release()
+	}
 }
 
 // BusyTime returns the accumulated simulated busy time of machine id

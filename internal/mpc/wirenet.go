@@ -87,6 +87,22 @@ func (wn *wireNet) open(slots int) error {
 	return nil
 }
 
+// release drops the traffic-proportional buffers — encode buffers, ref
+// tables, decoder arenas — keeping the links and per-slot bookkeeping
+// intact. Called from ResetStats so a reused transported cluster starts
+// the next run without the previous run's high-water footprint.
+func (wn *wireNet) release() {
+	for i := range wn.bufs {
+		wn.bufs[i] = nil
+	}
+	for i := range wn.refs {
+		wn.refs[i] = nil
+	}
+	for _, d := range wn.decs {
+		d.Drop()
+	}
+}
+
 // fail closes the link of slot and records err once. Closing is the
 // anti-hang mechanism: it unblocks whichever side of the link is still
 // inside a Read or Write, so a mid-round failure always surfaces as an

@@ -3,6 +3,7 @@ package prims
 import (
 	"fmt"
 
+	"hetmpc/internal/arena"
 	"hetmpc/internal/mpc"
 )
 
@@ -46,22 +47,42 @@ func AggregateByKey[V any](
 		items = ni
 	}
 
-	// Local combine.
+	// Local combine. The fast path sorts a slab-backed copy by key and folds
+	// adjacent runs in place: the stable sort keeps each key's occurrences in
+	// input order, so the left-fold per key — and therefore the combined
+	// values — are exactly those of the reference map path (which also folds
+	// in input order and then sorts); pinned by
+	// TestAggregateCombineKernelMatchesMap.
 	partials := make([][]KV[V], k)
 	if err := c.ForSmall(func(i int) error {
-		m := make(map[int64]V, len(items[i]))
-		for _, kv := range items[i] {
-			if cur, ok := m[kv.K]; ok {
-				m[kv.K] = combine(cur, kv.V)
+		if referenceKernels {
+			m := make(map[int64]V, len(items[i]))
+			for _, kv := range items[i] {
+				if cur, ok := m[kv.K]; ok {
+					m[kv.K] = combine(cur, kv.V)
+				} else {
+					m[kv.K] = kv.V
+				}
+			}
+			out := make([]KV[V], 0, len(m))
+			for key, v := range m {
+				out = append(out, KV[V]{K: key, V: v})
+			}
+			SortKVsByKey(out)
+			partials[i] = out
+			return nil
+		}
+		buf := arena.New[KV[V]](len(items[i])).AllocUninit(len(items[i]))
+		copy(buf, items[i])
+		sortByKey(buf, func(kv KV[V]) SortKey { return SortKey{A: kv.K} })
+		out := buf[:0]
+		for j := 0; j < len(buf); j++ {
+			if len(out) > 0 && out[len(out)-1].K == buf[j].K {
+				out[len(out)-1].V = combine(out[len(out)-1].V, buf[j].V)
 			} else {
-				m[kv.K] = kv.V
+				out = append(out, buf[j])
 			}
 		}
-		out := make([]KV[V], 0, len(m))
-		for key, v := range m {
-			out = append(out, KV[V]{K: key, V: v})
-		}
-		SortKVsByKey(out)
 		partials[i] = out
 		return nil
 	}); err != nil {

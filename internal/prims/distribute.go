@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"slices"
 
+	"hetmpc/internal/arena"
 	"hetmpc/internal/graph"
 	"hetmpc/internal/mpc"
 )
@@ -35,14 +36,27 @@ var ErrZeroCapacity = errors.New("prims: zero total capacity")
 func DistributeEdges(c *mpc.Cluster, g *graph.Graph) ([][]graph.Edge, error) {
 	defer c.Span("distribute").End()
 	k := c.K()
+	n := len(g.Edges)
 	out := make([][]graph.Edge, k)
 	if c.UniformPlacement() {
-		per := (len(g.Edges) + k - 1) / k
+		// Round-robin counts are exact (machine i gets one extra edge while
+		// i < n%k), so the shards carve from a single slab with no append
+		// doublings. Machines past the edge count keep the historical
+		// non-nil empty shard.
+		ar := arena.New[graph.Edge](n)
 		for i := range out {
-			out[i] = make([]graph.Edge, 0, per)
+			cnt := n / k
+			if i < n%k {
+				cnt++
+			}
+			if cnt == 0 {
+				out[i] = emptyEdges
+			} else {
+				out[i] = ar.AllocUninit(cnt)[:0]
+			}
 		}
 		for j, e := range g.Edges {
-			out[j%k] = append(out[j%k], e)
+			out[j%k] = append(out[j%k], e) // always within the carved cap
 		}
 		RegisterState(c, out, EdgeWords)
 		return out, nil
@@ -51,16 +65,32 @@ func DistributeEdges(c *mpc.Cluster, g *graph.Graph) ([][]graph.Edge, error) {
 	for i := range shares {
 		shares[i] = c.PlaceShare(i)
 	}
-	owner, err := weightedAssign(len(g.Edges), shares)
+	owner, err := weightedAssign(n, shares)
 	if err != nil {
 		return nil, err
 	}
-	for i, e := range owner {
-		out[e] = append(out[e], g.Edges[i])
+	counts := make([]int, k)
+	for _, o := range owner {
+		counts[o]++
+	}
+	ar := arena.New[graph.Edge](n)
+	for i := range out {
+		if counts[i] > 0 { // zero-count shards stay nil, as before
+			out[i] = ar.AllocUninit(counts[i])[:0]
+		}
+	}
+	for i, o := range owner {
+		out[o] = append(out[o], g.Edges[i])
 	}
 	RegisterState(c, out, EdgeWords)
 	return out, nil
 }
+
+// emptyEdges is the shared zero-length (but non-nil) shard handed to
+// machines that receive no edges under uniform placement — preserving the
+// pre-arena make([]graph.Edge, 0, per) semantics that distinguish "empty
+// shard" from "no shard" in deep-equality comparisons.
+var emptyEdges = []graph.Edge{}
 
 // weightedAssign deals n items to machines in proportion to their capacity
 // shares: per-machine counts come from largest-remainder apportionment

@@ -1,0 +1,470 @@
+package prims
+
+import (
+	"slices"
+	"sync"
+
+	"hetmpc/internal/arena"
+)
+
+// referenceKernels switches the package to its straightforward reference
+// implementations: closure-based stable sorts and sort.Search + append
+// bucket routing. The fast kernels below produce identical output (pinned
+// by the kernel equivalence tests); the toggle exists so the E33 scale
+// sweep can measure the speedup against asserted-identical results. Not
+// safe to flip while primitives are in flight.
+var referenceKernels bool
+
+// SetReferenceKernels selects the reference (true) or optimized (false)
+// kernel implementations. Used by benchmarks; the default is optimized.
+func SetReferenceKernels(on bool) { referenceKernels = on }
+
+// ReferenceKernels reports the current kernel selection.
+func ReferenceKernels() bool { return referenceKernels }
+
+// keyed pairs an extracted sort key with the item's original position. The
+// key is held as bias-flipped uint64 words (lexicographic uint64 order over
+// w equals SortKey.Compare order), so both the radix digits and the
+// small-slice comparator work on plain unsigned words; the position doubles
+// as the comparator tiebreak (making the comparison fallback stable) and as
+// the permutation applied back to the items.
+type keyed struct {
+	w   [3]uint64 // bias-flipped {A, B, C}, most significant first
+	idx int32
+}
+
+// flipKey converts k to its bias-flipped word triple: XORing the sign
+// bit maps int64 order onto uint64 order.
+func flipKey(k SortKey) [3]uint64 {
+	const flip = 1 << 63
+	return [3]uint64{uint64(k.A) ^ flip, uint64(k.B) ^ flip, uint64(k.C) ^ flip}
+}
+
+// keyedPool recycles the keyed scratch of sortByKey across calls: the
+// primitives sort per small machine per round, so steady-state rounds reuse
+// warm slabs instead of reallocating the side buffers every time.
+var keyedPool = sync.Pool{New: func() any { return &arena.Arena[keyed]{} }}
+
+// radixCutoff is the slice length below which sortByKey uses the
+// comparison fallback: an LSD pass costs two linear sweeps plus a 256-entry
+// histogram, which only amortizes once the slice dwarfs the histogram.
+const radixCutoff = 96
+
+// sortByKey sorts items by their SortKey, equivalent to a stable sort with
+// a key-extracting comparator but without per-comparison key extraction or
+// closure dispatch: keys are pulled once into a (words, index) side buffer
+// and sorted with a stable LSD radix over the key bytes. The extraction
+// pass folds OR/AND masks over the key words, so only bytes that actually
+// vary across the slice get a counting pass — low-entropy keys (the common
+// case: single-word keys with a bounded range) sort in two or three linear
+// sweeps instead of n·log n comparisons. Counting sort is stable, so the
+// byte-skipping LSD order reproduces the stable comparator order exactly —
+// pinned by TestSortKernelMatchesStable. Small slices fall back to pdqsort
+// on the flipped words with the index tiebreak (stable in effect). The
+// resulting permutation is applied in place by cycle-following.
+func sortByKey[T any](items []T, key func(T) SortKey) {
+	n := len(items)
+	if n < 2 {
+		return
+	}
+	ar := keyedPool.Get().(*arena.Arena[keyed])
+	kb := ar.AllocUninit(n)
+	or := [3]uint64{}
+	and := [3]uint64{^uint64(0), ^uint64(0), ^uint64(0)}
+	for i, it := range items {
+		w := flipKey(key(it))
+		kb[i] = keyed{w: w, idx: int32(i)}
+		or[0] |= w[0]
+		and[0] &= w[0]
+		or[1] |= w[1]
+		and[1] &= w[1]
+		or[2] |= w[2]
+		and[2] &= w[2]
+	}
+	if n < radixCutoff {
+		slices.SortFunc(kb, func(a, b keyed) int {
+			for w := 0; w < 3; w++ {
+				if a.w[w] != b.w[w] {
+					if a.w[w] < b.w[w] {
+						return -1
+					}
+					return 1
+				}
+			}
+			return int(a.idx) - int(b.idx)
+		})
+		applyPerm(items, kb)
+		ar.Reset()
+		keyedPool.Put(ar)
+		return
+	}
+	// Plan one pass per byte that actually varies, least-significant key
+	// word first (LSD order over the triple).
+	var plan [24]bytePass
+	np := 0
+	for word := 2; word >= 0; word-- {
+		vary := or[word] ^ and[word]
+		for shift := uint(0); shift < 64; shift += 8 {
+			if (vary>>shift)&0xff != 0 {
+				plan[np] = bytePass{word, shift}
+				np++
+			}
+		}
+	}
+	switch {
+	case np == 0:
+		// All keys equal: the stable order is the input order.
+	case np <= 8:
+		sortPacked16(items, kb, plan[:np])
+	case np <= 16:
+		sortPacked24(items, kb, plan[:np])
+	default:
+		sortUnpacked(items, kb, plan[:np], ar)
+	}
+	ar.Reset()
+	keyedPool.Put(ar)
+}
+
+// bytePass names one varying key byte: which flipped word it lives in and
+// its bit offset there. A radix run's pass plan is the LSD-ordered list of
+// varying bytes.
+type bytePass struct {
+	word  int
+	shift uint
+}
+
+// Packed key records: the pass plan squeezes the ≤8 (≤16) varying key
+// bytes of the whole slice into one (two) words, packed LSD — pass p's
+// digit sits at bits [8p, 8p+8). Radix passes then move 16- or 24-byte
+// records instead of the 32-byte keyed form, and digit extraction is a
+// single shift off a fixed word. The packing is order-preserving over the
+// planned passes (skipped bytes are constant across the slice), so the
+// pass sequence sorts exactly as the unpacked form would.
+type keyed16 struct {
+	k   uint64
+	idx int32
+}
+
+type keyed24 struct {
+	k0, k1 uint64
+	idx    int32
+}
+
+var k16Pool = sync.Pool{New: func() any { return &arena.Arena[keyed16]{} }}
+var k24Pool = sync.Pool{New: func() any { return &arena.Arena[keyed24]{} }}
+
+// sortPacked16 runs the radix passes on 16-byte packed records. The pack
+// sweep is fused with the histogram sweep (counting-sort histograms depend
+// only on the key multiset, never on arrangement), so the whole sort is
+// one read of kb plus np scatter sweeps over the compact records.
+func sortPacked16[T any](items []T, kb []keyed, plan []bytePass) {
+	n, np := len(kb), len(plan)
+	pa := k16Pool.Get().(*arena.Arena[keyed16])
+	buf := pa.AllocUninit(2 * n)
+	src, dst := buf[:n], buf[n:]
+	ca := countsPool.Get().(*arena.Arena[int32])
+	scratch := ca.AllocUninit(np*256 + n)
+	counts, perm := scratch[:np*256], scratch[np*256:]
+	clear(counts)
+	for i := range kb {
+		var k uint64
+		for p := 0; p < np; p++ {
+			d := (kb[i].w[plan[p].word] >> plan[p].shift) & 0xff
+			counts[p<<8|int(d)]++
+			k |= d << (8 * uint(p))
+		}
+		src[i] = keyed16{k: k, idx: int32(i)}
+	}
+	for p := 0; p < np; p++ {
+		prefixSum(counts[p<<8 : p<<8+256])
+		cp := counts[p<<8 : p<<8+256]
+		shift := 8 * uint(p)
+		for i := range src {
+			d := (src[i].k >> shift) & 0xff
+			dst[cp[d]] = src[i]
+			cp[d]++
+		}
+		src, dst = dst, src
+	}
+	for i := range src {
+		perm[i] = src[i].idx
+	}
+	applyPermIdx(items, perm)
+	ca.Reset()
+	countsPool.Put(ca)
+	pa.Reset()
+	k16Pool.Put(pa)
+}
+
+// sortPacked24 is sortPacked16 for 9..16 varying bytes: passes 0..7 pack
+// into k0, passes 8..15 into k1.
+func sortPacked24[T any](items []T, kb []keyed, plan []bytePass) {
+	n, np := len(kb), len(plan)
+	pa := k24Pool.Get().(*arena.Arena[keyed24])
+	buf := pa.AllocUninit(2 * n)
+	src, dst := buf[:n], buf[n:]
+	ca := countsPool.Get().(*arena.Arena[int32])
+	scratch := ca.AllocUninit(np*256 + n)
+	counts, perm := scratch[:np*256], scratch[np*256:]
+	clear(counts)
+	lo := plan[:8]
+	hi := plan[8:]
+	for i := range kb {
+		var k0, k1 uint64
+		for p, bp := range lo {
+			d := (kb[i].w[bp.word] >> bp.shift) & 0xff
+			counts[p<<8|int(d)]++
+			k0 |= d << (8 * uint(p))
+		}
+		for p, bp := range hi {
+			d := (kb[i].w[bp.word] >> bp.shift) & 0xff
+			counts[(p+8)<<8|int(d)]++
+			k1 |= d << (8 * uint(p))
+		}
+		src[i] = keyed24{k0: k0, k1: k1, idx: int32(i)}
+	}
+	for p := 0; p < np; p++ {
+		prefixSum(counts[p<<8 : p<<8+256])
+		cp := counts[p<<8 : p<<8+256]
+		if p < 8 {
+			shift := 8 * uint(p)
+			for i := range src {
+				d := (src[i].k0 >> shift) & 0xff
+				dst[cp[d]] = src[i]
+				cp[d]++
+			}
+		} else {
+			shift := 8 * uint(p-8)
+			for i := range src {
+				d := (src[i].k1 >> shift) & 0xff
+				dst[cp[d]] = src[i]
+				cp[d]++
+			}
+		}
+		src, dst = dst, src
+	}
+	for i := range src {
+		perm[i] = src[i].idx
+	}
+	applyPermIdx(items, perm)
+	ca.Reset()
+	countsPool.Put(ca)
+	pa.Reset()
+	k24Pool.Put(pa)
+}
+
+// sortUnpacked is the >16-varying-byte fallback: radix passes directly on
+// the 32-byte keyed records, histograms still fused into one sweep.
+func sortUnpacked[T any](items []T, kb []keyed, plan []bytePass, ar *arena.Arena[keyed]) {
+	n, np := len(kb), len(plan)
+	ca := countsPool.Get().(*arena.Arena[int32])
+	counts := ca.AllocUninit(np * 256)
+	clear(counts)
+	for i := range kb {
+		for p := 0; p < np; p++ {
+			counts[p<<8|int((kb[i].w[plan[p].word]>>plan[p].shift)&0xff)]++
+		}
+	}
+	src, dst := kb, ar.AllocUninit(n)
+	for p := 0; p < np; p++ {
+		prefixSum(counts[p<<8 : p<<8+256])
+		cp := counts[p<<8 : p<<8+256]
+		word, shift := plan[p].word, plan[p].shift
+		for i := range src {
+			d := (src[i].w[word] >> shift) & 0xff
+			dst[cp[d]] = src[i]
+			cp[d]++
+		}
+		src, dst = dst, src
+	}
+	applyPerm(items, src)
+	ca.Reset()
+	countsPool.Put(ca)
+}
+
+// prefixSum converts a 256-digit histogram into exclusive start offsets.
+func prefixSum(cp []int32) {
+	sum := int32(0)
+	for d := range cp {
+		c := cp[d]
+		cp[d] = sum
+		sum += c
+	}
+}
+
+// applyPermIdx rearranges items so that items[i] = old items[perm[i]],
+// following permutation cycles in place; perm is consumed (visited entries
+// are bit-complemented).
+func applyPermIdx[T any](items []T, perm []int32) {
+	for i := range perm {
+		if perm[i] < 0 {
+			continue
+		}
+		j := i
+		tmp := items[i]
+		for {
+			src := int(perm[j])
+			perm[j] = ^perm[j]
+			if src == i {
+				items[j] = tmp
+				break
+			}
+			items[j] = items[src]
+			j = src
+		}
+	}
+}
+
+// countsPool recycles the fused radix histograms of sortByKey (up to 24
+// passes × 256 digits of int32 counts).
+var countsPool = sync.Pool{New: func() any { return &arena.Arena[int32]{} }}
+
+// u64Pool recycles the flipped-word scratch of SortInts.
+var u64Pool = sync.Pool{New: func() any { return &arena.Arena[uint64]{} }}
+
+// SortInts sorts xs ascending. It is the plain-int64 sibling of the
+// sortByKey kernel: the engine's map-drain loops (collect keys, sort,
+// iterate deterministically) sit on the per-round hot path of every
+// algorithm, so they get the same byte-skipping LSD radix treatment —
+// bias-flipped words, OR/AND vary masks, fused histograms, pooled scratch.
+// Under reference kernels (or below the radix cutoff) it is exactly
+// slices.Sort; equivalence is pinned by TestSortIntsMatchesSlices.
+func SortInts(xs []int64) {
+	n := len(xs)
+	if referenceKernels || n < radixCutoff {
+		slices.Sort(xs)
+		return
+	}
+	const flip = 1 << 63
+	ar := u64Pool.Get().(*arena.Arena[uint64])
+	buf := ar.AllocUninit(2 * n)
+	src, dst := buf[:n], buf[n:]
+	var or uint64
+	and := ^uint64(0)
+	for i, x := range xs {
+		u := uint64(x) ^ flip
+		src[i] = u
+		or |= u
+		and &= u
+	}
+	vary := or ^ and
+	var shifts [8]uint
+	np := 0
+	for s := uint(0); s < 64; s += 8 {
+		if (vary>>s)&0xff != 0 {
+			shifts[np] = s
+			np++
+		}
+	}
+	if np == 0 {
+		// All values equal: xs is already sorted.
+		ar.Reset()
+		u64Pool.Put(ar)
+		return
+	}
+	ca := countsPool.Get().(*arena.Arena[int32])
+	counts := ca.AllocUninit(np * 256)
+	clear(counts)
+	for _, u := range src {
+		for p := 0; p < np; p++ {
+			counts[p<<8|int((u>>shifts[p])&0xff)]++
+		}
+	}
+	for p := 0; p < np; p++ {
+		cp := counts[p<<8 : p<<8+256]
+		sum := int32(0)
+		for d := range cp {
+			c := cp[d]
+			cp[d] = sum
+			sum += c
+		}
+		shift := shifts[p]
+		for _, u := range src {
+			d := (u >> shift) & 0xff
+			dst[cp[d]] = u
+			cp[d]++
+		}
+		src, dst = dst, src
+	}
+	for i, u := range src {
+		xs[i] = int64(u ^ flip)
+	}
+	ca.Reset()
+	countsPool.Put(ca)
+	ar.Reset()
+	u64Pool.Put(ar)
+}
+
+// applyPerm rearranges items so that items[i] = old items[kb[i].idx],
+// following permutation cycles in place with O(1) extra space; visited
+// entries are marked by bit-complementing their idx (kb is scratch and is
+// consumed by the walk).
+func applyPerm[T any](items []T, kb []keyed) {
+	for i := range kb {
+		if kb[i].idx < 0 {
+			continue // already placed by an earlier cycle
+		}
+		j := i
+		tmp := items[i]
+		for {
+			src := int(kb[j].idx)
+			kb[j].idx = ^kb[j].idx
+			if src == i {
+				items[j] = tmp
+				break
+			}
+			items[j] = items[src]
+			j = src
+		}
+	}
+}
+
+// SortLocal sorts one machine's items by key under the selected kernel
+// set: the radix local-sort kernel, or (reference) the closure-based stable
+// sort it replaces. It exposes the Sort primitive's step-1 kernel to
+// algorithm code that sorts large-machine slices outside any primitive.
+func SortLocal[T any](items []T, key func(T) SortKey) {
+	if referenceKernels {
+		slices.SortStableFunc(items, func(a, b T) int { return key(a).Compare(key(b)) })
+		return
+	}
+	sortByKey(items, key)
+}
+
+// scatterSortedByKey routes locally-sorted items into nb splitter buckets.
+// Because the items are sorted by the same key order the splitters are
+// drawn from, every bucket is a contiguous run, so the kernel does no
+// per-item work at all: it binary-searches each splitter's boundary
+// (nb·log L comparisons instead of the reference path's L·log nb) and
+// returns capacity-clamped subslices of the input — a single allocation
+// for the bucket headers, pinned by TestScatterConstantAllocs. Buckets
+// that receive nothing stay nil, matching the reference path's
+// untouched-append behavior. The sorted precondition is the caller's
+// (Sort routes the output of its local-sort step); equivalence against
+// per-item sort.Search routing is pinned by TestScatterKernelMatchesSearch.
+func scatterSortedByKey[T any](items []T, sp []SortKey, nb int, key func(T) SortKey) [][]T {
+	out := make([][]T, nb)
+	lo := 0
+	for j := 0; j < nb && lo < len(items); j++ {
+		hi := len(items)
+		if j < len(sp) {
+			// Lower bound of "key >= sp[j]" in items[lo:]: the end of
+			// bucket j, since b(it) > j exactly when !key(it).Less(sp[j]).
+			l, h := lo, len(items)
+			for l < h {
+				mid := int(uint(l+h) >> 1)
+				if key(items[mid]).Less(sp[j]) {
+					l = mid + 1
+				} else {
+					h = mid
+				}
+			}
+			hi = l
+		}
+		if hi > lo {
+			out[j] = items[lo:hi:hi] // cap-clamped: appends can't clobber the neighbor run
+		}
+		lo = hi
+	}
+	return out
+}

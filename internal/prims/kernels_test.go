@@ -1,0 +1,304 @@
+package prims
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"slices"
+	"sort"
+	"testing"
+
+	"hetmpc/internal/mpc"
+	"hetmpc/internal/xrand"
+)
+
+type kitem struct {
+	key  SortKey
+	tag  int // distinguishes equal-key items so stability is observable
+	pad  [2]int64
+	pad2 int64
+}
+
+func fuzzedItems(rng *rand.Rand, n, keyRange int) []kitem {
+	out := make([]kitem, n)
+	for i := range out {
+		out[i] = kitem{
+			key: SortKey{
+				A: int64(rng.Uint64() % uint64(keyRange)),
+				B: int64(rng.Uint64() % 4),
+				C: int64(rng.Uint64() % 4),
+			},
+			tag: i,
+		}
+	}
+	return out
+}
+
+// TestSortKernelMatchesStable pins the local-sort kernel against the
+// reference stable sort: the (key, original index) tiebreak must make
+// sortByKey's unstable pdqsort produce exactly the stable order, including
+// among equal keys (observable through the tags).
+func TestSortKernelMatchesStable(t *testing.T) {
+	rng := xrand.New(7)
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		for _, keyRange := range []int{1, 3, 1 << 30} {
+			items := fuzzedItems(rng, n, keyRange)
+			want := slices.Clone(items)
+			slices.SortStableFunc(want, func(a, b kitem) int { return a.key.Compare(b.key) })
+			got := slices.Clone(items)
+			sortByKey(got, func(it kitem) SortKey { return it.key })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d keyRange=%d: sortByKey diverges from stable sort", n, keyRange)
+			}
+		}
+	}
+}
+
+// TestScatterKernelMatchesSearch pins the bucket-routing kernel against the
+// reference sort.Search + append loop on locally-sorted input (Sort's
+// precondition for the fast path), including the empty-bucket convention
+// (untouched buckets are nil in both) and duplicate splitters (forced
+// empty middle buckets).
+func TestScatterKernelMatchesSearch(t *testing.T) {
+	rng := xrand.New(11)
+	key := func(it kitem) SortKey { return it.key }
+	for _, n := range []int{0, 1, 5, 257} {
+		for _, nb := range []int{1, 2, 8, 33} {
+			sp := make([]SortKey, nb-1)
+			for i := range sp {
+				sp[i] = SortKey{A: int64(rng.Uint64() % 8), B: int64(rng.Uint64() % 2)}
+			}
+			slices.SortFunc(sp, func(a, b SortKey) int { return a.Compare(b) })
+			items := fuzzedItems(rng, n, 8)
+			slices.SortStableFunc(items, func(a, b kitem) int { return a.key.Compare(b.key) })
+
+			want := make([][]kitem, nb)
+			for _, it := range items {
+				kk := key(it)
+				j := sort.Search(len(sp), func(x int) bool { return kk.Less(sp[x]) })
+				want[j] = append(want[j], it)
+			}
+			got := scatterSortedByKey(items, sp, nb, key)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d nb=%d: %d buckets, want %d", n, nb, len(got), len(want))
+			}
+			for b := range want {
+				if (got[b] == nil) != (want[b] == nil) || !reflect.DeepEqual(got[b], want[b]) {
+					t.Fatalf("n=%d nb=%d bucket %d: scatterSortedByKey diverges from sort.Search routing", n, nb, b)
+				}
+			}
+		}
+	}
+}
+
+// TestScatterConstantAllocs pins the scatter kernel's allocation count: one
+// allocation (the bucket headers) regardless of item count — the buckets
+// are subslices of the sorted input, versus the reference path's per-bucket
+// append doublings.
+func TestScatterConstantAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are nondeterministic under the race detector")
+	}
+	rng := xrand.New(13)
+	key := func(it kitem) SortKey { return it.key }
+	sp := make([]SortKey, 31)
+	for i := range sp {
+		sp[i] = SortKey{A: int64(i * 8)}
+	}
+	alloc := func(n int) float64 {
+		items := fuzzedItems(rng, n, 256)
+		slices.SortStableFunc(items, func(a, b kitem) int { return a.key.Compare(b.key) })
+		return testing.AllocsPerRun(20, func() { scatterSortedByKey(items, sp, 32, key) })
+	}
+	small, large := alloc(64), alloc(16384)
+	if small != large {
+		t.Errorf("scatter allocations scale with input: %v at n=64, %v at n=16384", small, large)
+	}
+	if large > 1 {
+		t.Errorf("scatter performs %v allocations per call, want 1 (bucket headers)", large)
+	}
+}
+
+// TestScatterViewsAreCapClamped pins the no-clobber guarantee of the
+// subslice buckets: appending past a bucket's length copies out instead of
+// overwriting the neighboring run of the shared backing array.
+func TestScatterViewsAreCapClamped(t *testing.T) {
+	items := []kitem{{key: SortKey{A: 0}}, {key: SortKey{A: 10}, tag: 42}}
+	sp := []SortKey{{A: 5}}
+	got := scatterSortedByKey(items, sp, 2, func(it kitem) SortKey { return it.key })
+	_ = append(got[0], kitem{tag: -1}) // must not clobber got[1][0]
+	if got[1][0].tag != 42 {
+		t.Fatalf("append past bucket 0 clobbered bucket 1: tag = %d", got[1][0].tag)
+	}
+}
+
+// TestSortLocalSteadyStateAllocs pins the pooled keyed scratch: once the
+// pool is warm, sorting allocates nothing beyond the sort itself.
+func TestSortLocalSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are nondeterministic under the race detector")
+	}
+	rng := xrand.New(17)
+	items := fuzzedItems(rng, 4096, 1<<20)
+	scratch := slices.Clone(items)
+	key := func(it kitem) SortKey { return it.key }
+	sortByKey(scratch, key) // warm the pool
+	if got := testing.AllocsPerRun(20, func() {
+		copy(scratch, items)
+		sortByKey(scratch, key)
+	}); got != 0 {
+		t.Errorf("steady-state sortByKey allocates %v per call, want 0", got)
+	}
+}
+
+// TestSortKernelPackedPaths pins the packed radix variants against the
+// stable reference across key-entropy regimes: ≤8 varying bytes (16-byte
+// packed records), 9..16 (24-byte), and >16 (unpacked fallback), plus
+// negative key words (bias flip on every word).
+func TestSortKernelPackedPaths(t *testing.T) {
+	rng := xrand.New(53)
+	gens := map[string]func() SortKey{
+		"packed16": func() SortKey {
+			return SortKey{A: int64(rng.Uint64() % (1 << 24)), B: int64(rng.Uint64() % 4), C: int64(rng.Uint64() % 256)}
+		},
+		"packed24": func() SortKey {
+			return SortKey{A: int64(rng.Uint64()), B: int64(rng.Uint64() % 65536), C: int64(rng.Uint64() % 4)}
+		},
+		"unpacked": func() SortKey {
+			return SortKey{A: int64(rng.Uint64()), B: int64(rng.Uint64()), C: int64(rng.Uint64())}
+		},
+		"negative": func() SortKey {
+			return SortKey{A: int64(rng.Uint64()%512) - 256, B: int64(rng.Uint64()%16) - 8, C: int64(rng.Uint64())}
+		},
+	}
+	for name, gen := range gens {
+		for _, n := range []int{96, 500, 4096} {
+			items := make([]kitem, n)
+			for i := range items {
+				items[i] = kitem{key: gen(), tag: i}
+			}
+			want := slices.Clone(items)
+			slices.SortStableFunc(want, func(a, b kitem) int { return a.key.Compare(b.key) })
+			got := slices.Clone(items)
+			sortByKey(got, func(it kitem) SortKey { return it.key })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s n=%d: sortByKey diverges from stable sort", name, n)
+			}
+		}
+	}
+}
+
+// TestSortIntsMatchesSlices pins the int64 radix kernel against slices.Sort
+// across sizes straddling the radix cutoff, negative values (bias flip),
+// duplicates, and all-equal inputs.
+func TestSortIntsMatchesSlices(t *testing.T) {
+	rng := xrand.New(41)
+	for _, n := range []int{0, 1, 2, 95, 96, 97, 1000, 4096} {
+		for _, gen := range []func() int64{
+			func() int64 { return int64(rng.Uint64()) },              // full range incl. negatives
+			func() int64 { return int64(rng.Uint64()%64) - 32 },      // small signed range, duplicates
+			func() int64 { return 7 },                                // all equal
+			func() int64 { return int64(rng.Uint64() & 0xffff00ff) }, // sparse varying bytes
+		} {
+			xs := make([]int64, n)
+			for i := range xs {
+				xs[i] = gen()
+			}
+			want := slices.Clone(xs)
+			slices.Sort(want)
+			SortInts(xs)
+			if !slices.Equal(xs, want) {
+				t.Fatalf("n=%d: SortInts diverges from slices.Sort", n)
+			}
+		}
+	}
+}
+
+// TestSortIntsSteadyStateAllocs pins the pooled SortInts scratch: warm-pool
+// calls allocate nothing.
+func TestSortIntsSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are nondeterministic under the race detector")
+	}
+	rng := xrand.New(43)
+	items := make([]int64, 8192)
+	for i := range items {
+		items[i] = int64(rng.Uint64())
+	}
+	scratch := slices.Clone(items)
+	SortInts(scratch) // warm the pool
+	if got := testing.AllocsPerRun(20, func() {
+		copy(scratch, items)
+		SortInts(scratch)
+	}); got != 0 {
+		t.Errorf("steady-state SortInts allocates %v per call, want 0", got)
+	}
+}
+
+// TestAggregateCombineKernelMatchesMap pins the local-combine kernel:
+// AggregateByKey under fast kernels must produce the same roots as the
+// reference map-based combine, fold order included (the combine below is
+// deliberately non-commutative in its fold history so any reordering of a
+// key's occurrences shows up in the result).
+func TestAggregateCombineKernelMatchesMap(t *testing.T) {
+	run := func(ref bool) []map[int64][]int64 {
+		SetReferenceKernels(ref)
+		defer SetReferenceKernels(false)
+		c, err := mpc.New(mpc.Config{N: 256, M: 1024, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := c.K()
+		rng := xrand.New(23)
+		items := make([][]KV[[]int64], k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < 40; j++ {
+				key := int64(rng.Uint64() % 50)
+				items[i] = append(items[i], KV[[]int64]{K: key, V: []int64{int64(i*1000 + j)}})
+			}
+		}
+		combine := func(a, b []int64) []int64 { return append(a, b...) }
+		roots, _, err := AggregateByKey(c, items, 1, combine, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return roots
+	}
+	fast := run(false)
+	refr := run(true)
+	if !reflect.DeepEqual(fast, refr) {
+		t.Fatal("AggregateByKey roots diverge between fast and reference kernels")
+	}
+}
+
+// TestSortKernelEndToEnd pins the full Sort primitive (local sort, splitter
+// scatter, final sort) fast-vs-reference on identical clusters: buckets,
+// contents and order must match exactly.
+func TestSortKernelEndToEnd(t *testing.T) {
+	run := func(ref bool) [][]kitem {
+		SetReferenceKernels(ref)
+		defer SetReferenceKernels(false)
+		c, err := mpc.New(mpc.Config{N: 256, M: 4096, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := c.K()
+		rng := xrand.New(31)
+		data := make([][]kitem, k)
+		for i := 0; i < k; i++ {
+			data[i] = fuzzedItems(rng, 64, 1<<16)
+		}
+		out, err := Sort(c, data, 7, func(it kitem) SortKey { return it.key })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	fast := run(false)
+	refr := run(true)
+	if !reflect.DeepEqual(fast, refr) {
+		t.Fatal("Sort output diverges between fast and reference kernels")
+	}
+	if !IsGloballySorted(fast, func(it kitem) SortKey { return it.key }) {
+		t.Fatal("Sort output is not globally sorted")
+	}
+}

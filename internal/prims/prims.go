@@ -461,8 +461,14 @@ func hashKeyToMachine(key int64, k int) int {
 	return int(xrand.SplitMix64(uint64(key)+0x9e37) % uint64(k))
 }
 
-// sortKVs sorts a KV slice by key (stable within equal keys is not needed;
-// callers requiring total order add tiebreak data to the key).
+// SortKVsByKey sorts a KV slice by key, stable among equal keys. It is a
+// kernel site: the fast path runs the byte-skipping radix local sort (the
+// index tiebreak reproduces the stable order exactly), the reference path
+// the closure-based stable sort it replaces.
 func SortKVsByKey[V any](kvs []KV[V]) {
-	slices.SortStableFunc(kvs, func(a, b KV[V]) int { return cmp.Compare(a.K, b.K) })
+	if referenceKernels {
+		slices.SortStableFunc(kvs, func(a, b KV[V]) int { return cmp.Compare(a.K, b.K) })
+		return
+	}
+	sortByKey(kvs, func(kv KV[V]) SortKey { return SortKey{A: kv.K} })
 }

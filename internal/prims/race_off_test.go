@@ -1,0 +1,6 @@
+//go:build !race
+
+package prims
+
+// raceEnabled reports that the race detector is active; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package prims
+
+// raceEnabled reports that the race detector is active: allocation-count
+// pins are skipped there, since the detector's shadow allocations and pool
+// evictions make the counts nondeterministic.
+const raceEnabled = true

@@ -65,10 +65,16 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 	// until the routed buckets replace them below.
 	RegisterState(c, data, itemWords)
 
-	// Step 1: local sort (parallel local computation, no rounds).
+	// Step 1: local sort (parallel local computation, no rounds). The fast
+	// path extracts keys once and sorts a compact side buffer (kernels.go);
+	// the reference path is the closure-based stable sort it replaces.
 	byKey := func(a, b T) int { return key(a).Compare(key(b)) }
 	if err := c.ForSmall(func(i int) error {
-		slices.SortStableFunc(data[i], byKey)
+		if referenceKernels {
+			slices.SortStableFunc(data[i], byKey)
+		} else {
+			sortByKey(data[i], key)
+		}
 		return nil
 	}); err != nil {
 		return nil, err
@@ -169,16 +175,23 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 		return nil, err
 	}
 
-	// Step 4: route every item to its bucket.
+	// Step 4: route every item to its bucket. The fast path exploits step
+	// 1's local sort — buckets are contiguous runs, found by binary-searching
+	// each splitter boundary (kernels.go); the reference path is the
+	// per-item sort.Search + append loop it replaces.
 	type chunk struct{ Items []T }
 	buckets := make([][][]T, k)
 	if err := c.ForSmall(func(i int) error {
 		sp := lists[i].Keys
-		buckets[i] = make([][]T, k)
-		for _, it := range data[i] {
-			kk := key(it)
-			j := sort.Search(len(sp), func(x int) bool { return kk.Less(sp[x]) })
-			buckets[i][j] = append(buckets[i][j], it)
+		if referenceKernels {
+			buckets[i] = make([][]T, k)
+			for _, it := range data[i] {
+				kk := key(it)
+				j := sort.Search(len(sp), func(x int) bool { return kk.Less(sp[x]) })
+				buckets[i][j] = append(buckets[i][j], it)
+			}
+		} else {
+			buckets[i] = scatterSortedByKey(data[i], sp, k, key)
 		}
 		return nil
 	}); err != nil {
@@ -214,7 +227,11 @@ func Sort[T any](c *mpc.Cluster, data [][]T, itemWords int, key func(T) SortKey)
 		for _, m := range ins[i] {
 			result[i] = append(result[i], m.Data.(chunk).Items...)
 		}
-		slices.SortStableFunc(result[i], byKey)
+		if referenceKernels {
+			slices.SortStableFunc(result[i], byKey)
+		} else {
+			sortByKey(result[i], key)
+		}
 		return nil
 	}); err != nil {
 		return nil, err

@@ -18,9 +18,25 @@ package sketch
 import (
 	"fmt"
 
+	"hetmpc/internal/arena"
 	"hetmpc/internal/graph"
 	"hetmpc/internal/xrand"
 )
+
+// referenceKernels switches the package to its straightforward reference
+// implementations: per-level merge loop, per-update PowModP fingerprints.
+// The fast kernels compute bit-identical results (pinned by the kernel
+// equivalence tests); the toggle exists so the E33 scale sweep can measure
+// the speedup against asserted-identical outputs. Not safe to flip while
+// sketch operations are in flight.
+var referenceKernels bool
+
+// SetReferenceKernels selects the reference (true) or optimized (false)
+// kernel implementations. Used by benchmarks; the default is optimized.
+func SetReferenceKernels(on bool) { referenceKernels = on }
+
+// ReferenceKernels reports the current kernel selection.
+func ReferenceKernels() bool { return referenceKernels }
 
 // Family fixes the shared randomness of a collection of compatible sketches:
 // the level hash and the fingerprint base. Sketches from the same family can
@@ -134,37 +150,51 @@ func (f *Family) NewSketch(universe int64) *Sketch {
 // Words returns the communication size of the sketch in machine words.
 func (s *Sketch) Words() int { return 2 + 3*len(s.levels) }
 
-// Arena hands out sketches backed by chunked slab allocations, amortizing
-// the two allocations of NewSketch across arenaChunk sketches. Sketches from
-// an arena are ordinary sketches (merge, query, clone all work); the arena
+// Arena hands out sketches backed by the shared slab allocator
+// (internal/arena), amortizing the allocations of NewSketch across whole
+// slabs and supporting Reset reuse round over round. Sketches from an
+// arena are ordinary sketches (merge, query, clone all work); the arena
 // itself is not safe for concurrent use — use one per goroutine.
 type Arena struct {
 	f        *Family
 	universe int64
-	sketches []Sketch
-	levels   []oneSparse
+	sketches arena.Arena[Sketch]
+	levels   arena.Arena[oneSparse]
 }
 
-const arenaChunk = 64
-
 // NewArena returns an arena producing sketches of f over the universe.
+// Initial slabs are sized for a few dozen sketches — small clusters
+// shouldn't pay for slabs they never fill — and the arena's geometric
+// slab growth covers bulk producers in O(log) allocations.
 func (f *Family) NewArena(universe int64) *Arena {
-	return &Arena{f: f, universe: universe}
+	a := &Arena{f: f, universe: universe}
+	const seed = 32 // sketches per initial slab
+	a.sketches = *arena.New[Sketch](seed)
+	a.levels = *arena.New[oneSparse](seed * f.levels)
+	return a
 }
 
 // NewSketch returns a fresh empty sketch from the arena's current slab.
+// Under the reference-kernel toggle it falls back to the plain heap
+// allocation of Family.NewSketch, so E33 measures the slab path against
+// the per-sketch allocation it replaced.
 func (a *Arena) NewSketch() *Sketch {
-	if len(a.sketches) == 0 {
-		a.sketches = make([]Sketch, arenaChunk)
-		a.levels = make([]oneSparse, arenaChunk*a.f.levels)
+	if referenceKernels {
+		return a.f.NewSketch(a.universe)
 	}
-	s := &a.sketches[0]
-	a.sketches = a.sketches[1:]
+	s := &a.sketches.Alloc(1)[0]
 	s.familyID = a.f.id
 	s.universe = a.universe
-	s.levels = a.levels[:a.f.levels:a.f.levels]
-	a.levels = a.levels[a.f.levels:]
+	s.levels = a.levels.Alloc(a.f.levels)
 	return s
+}
+
+// Reset reclaims every sketch the arena has handed out, retaining the
+// slabs: every outstanding *Sketch becomes invalid and the next NewSketch
+// reuses the memory without allocating (the arena contract, DESIGN.md §14).
+func (a *Arena) Reset() {
+	a.sketches.Reset()
+	a.levels.Reset()
 }
 
 // Add applies a single update: vector[idx] += val, with val ∈ {+1, -1}.
@@ -174,13 +204,18 @@ func (f *Family) Add(s *Sketch, idx int64, val int) {
 	}
 	rPow := xrand.PowModP(f.r, uint64(idx))
 	h := f.hash.Eval(uint64(idx))
-	// Item belongs to level ℓ iff h < p / 2^ℓ; membership is nested.
+	addLevels(s.levels, idx, val, rPow, h)
+}
+
+// addLevels applies one precomputed update to the nested geometric levels:
+// item idx belongs to level ℓ iff h < p / 2^ℓ.
+func addLevels(levels []oneSparse, idx int64, val int, rPow, h uint64) {
 	bound := xrand.MersennePrime
-	for ℓ := 0; ℓ < len(s.levels); ℓ++ {
+	for ℓ := 0; ℓ < len(levels); ℓ++ {
 		if h >= bound {
 			break
 		}
-		s.levels[ℓ].add(idx, val, rPow)
+		levels[ℓ].add(idx, val, rPow)
 		bound >>= 1
 	}
 }
@@ -194,6 +229,64 @@ func (f *Family) AddEdgeIncidence(s *Sketch, v int, e graph.Edge, n int) {
 	} else {
 		f.Add(s, idx, -1)
 	}
+}
+
+// An EdgeUpdater accelerates the edge-incidence hot path of one family
+// over the n-vertex edge universe. Edge keys factor as idx = u·n + v, so
+// the fingerprint power factors as r^idx = (r^n)^u · r^v: two precomputed
+// n-entry tables turn the ~61 field multiplications of PowModP into one,
+// and both endpoint updates of an edge share a single fingerprint/hash
+// evaluation (the update index is the same edge key for both endpoints).
+// The modular arithmetic is canonical (every op reduces to [0, p)), so the
+// table product is bit-identical to the PowModP result — pinned by
+// TestEdgeUpdaterMatchesAddEdgeIncidence.
+//
+// Updaters are read-only after construction and safe to share across
+// goroutines.
+type EdgeUpdater struct {
+	f      *Family
+	n      int
+	rowPow []uint64 // (r^n)^u for u in [0, n)
+	colPow []uint64 // r^v for v in [0, n)
+}
+
+// NewEdgeUpdater builds the power tables of f over an n-vertex universe:
+// 2n field multiplications amortized against one per subsequent update.
+// Under the reference-kernel toggle the tables are skipped and every
+// update falls back to PowModP.
+func (f *Family) NewEdgeUpdater(n int) *EdgeUpdater {
+	up := &EdgeUpdater{f: f, n: n}
+	if referenceKernels {
+		return up
+	}
+	rn := xrand.PowModP(f.r, uint64(n))
+	up.rowPow = make([]uint64, n)
+	up.colPow = make([]uint64, n)
+	row, col := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		up.rowPow[i] = row
+		up.colPow[i] = col
+		row = xrand.MulModP(row, rn)
+		col = xrand.MulModP(col, f.r)
+	}
+	return up
+}
+
+// AddEdgeBoth applies edge e's signed incidence update to both endpoint
+// sketches — +1 into su (the sketch accumulating endpoint e.U), -1 into sv
+// — with one fingerprint power and one hash evaluation shared across both.
+// Equivalent to AddEdgeIncidence on each endpoint, bit for bit.
+func (up *EdgeUpdater) AddEdgeBoth(su, sv *Sketch, e graph.Edge) {
+	if up.rowPow == nil {
+		up.f.AddEdgeIncidence(su, e.U, e, up.n)
+		up.f.AddEdgeIncidence(sv, e.V, e, up.n)
+		return
+	}
+	idx := e.Key(up.n)
+	rPow := xrand.MulModP(up.rowPow[e.U], up.colPow[e.V])
+	h := up.f.hash.Eval(uint64(idx))
+	addLevels(su.levels, idx, 1, rPow, h)
+	addLevels(sv.levels, idx, -1, rPow, h)
 }
 
 // Clone returns a deep copy of the sketch.
@@ -213,10 +306,52 @@ func (s *Sketch) Merge(other *Sketch) error {
 	if s.familyID != other.familyID || s.universe != other.universe || len(s.levels) != len(other.levels) {
 		return fmt.Errorf("sketch: merging incompatible sketches")
 	}
-	for i := range s.levels {
-		s.levels[i].merge(other.levels[i])
+	if referenceKernels {
+		for i := range s.levels {
+			s.levels[i].merge(other.levels[i])
+		}
+		return nil
 	}
+	mergeLevels(s.levels, other.levels)
 	return nil
+}
+
+// mergeLevels is the vectorized XOR-merge kernel: component-wise sums of
+// the one-sparse triples, unrolled 4-wide with the lengths equalized up
+// front so the compiler drops the per-element bounds checks. Merge order
+// and arithmetic are exactly the scalar loop's (field adds are canonical),
+// so the result is bit-identical — pinned by TestMergeKernelMatchesScalar.
+//
+//hetlint:zeroalloc merge hot path; pinned by TestSketchMergeZeroAllocs
+func mergeLevels(dst, src []oneSparse) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	dst = dst[:n]
+	src = src[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0, s0 := &dst[i], &src[i]
+		d1, s1 := &dst[i+1], &src[i+1]
+		d2, s2 := &dst[i+2], &src[i+2]
+		d3, s3 := &dst[i+3], &src[i+3]
+		d0.count += s0.count
+		d0.z += s0.z
+		d0.fp = xrand.AddModP(d0.fp, s0.fp)
+		d1.count += s1.count
+		d1.z += s1.z
+		d1.fp = xrand.AddModP(d1.fp, s1.fp)
+		d2.count += s2.count
+		d2.z += s2.z
+		d2.fp = xrand.AddModP(d2.fp, s2.fp)
+		d3.count += s3.count
+		d3.z += s3.z
+		d3.fp = xrand.AddModP(d3.fp, s3.fp)
+	}
+	for ; i < n; i++ {
+		dst[i].merge(src[i])
+	}
 }
 
 // Query attempts to sample a nonzero index of the sketched vector. It scans

@@ -96,6 +96,7 @@ func PeelMatching(c *mpc.Cluster, edges [][]graph.Edge, stopRemaining int64) (*P
 		if err := c.ForSmall(func(i int) error {
 			rng := c.Rand(i)
 			ranks[i] = make([]uint64, len(live[i]))
+			items[i] = make([]prims.KV[rankVal], 0, 2*len(live[i]))
 			for j, e := range live[i] {
 				r := rng.Uint64()
 				ranks[i][j] = r
@@ -180,20 +181,22 @@ func counts[T any](data [][]T) []int64 {
 	return out
 }
 
-// endpointNeeds returns each machine's deduplicated endpoint key list.
+// endpointNeeds returns each machine's deduplicated endpoint key list,
+// sorted. Dedup goes through sort + compact rather than a hash set: the
+// loop runs once per peeling iteration over every live edge, and the sort
+// is the radix kernel under the fast kernel set.
 func endpointNeeds(edges [][]graph.Edge) [][]int64 {
 	needs := make([][]int64, len(edges))
 	for i := range edges {
-		seen := make(map[int64]bool, 2*len(edges[i]))
-		for _, e := range edges[i] {
-			for _, v := range [2]int{e.U, e.V} {
-				if !seen[int64(v)] {
-					seen[int64(v)] = true
-					needs[i] = append(needs[i], int64(v))
-				}
-			}
+		if len(edges[i]) == 0 {
+			continue
 		}
-		slices.Sort(needs[i])
+		vs := make([]int64, 0, 2*len(edges[i]))
+		for _, e := range edges[i] {
+			vs = append(vs, int64(e.U), int64(e.V))
+		}
+		prims.SortInts(vs)
+		needs[i] = slices.Compact(vs)
 	}
 	return needs
 }

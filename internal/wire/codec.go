@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"hetmpc/internal/arena"
 )
 
 // payloadLen returns the payload byte length a Message encodes to, or an
@@ -61,19 +63,112 @@ func AppendMessage(dst []byte, m *Message) ([]byte, error) {
 	case KindUint64:
 		dst = binary.LittleEndian.AppendUint64(dst, m.U64)
 	case KindInt64Slice:
-		for _, v := range m.I64s {
-			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
-		}
+		dst = appendI64s(dst, m.I64s)
 	case KindUint64Slice:
-		for _, v := range m.U64s {
-			dst = binary.LittleEndian.AppendUint64(dst, v)
-		}
+		dst = appendU64s(dst, m.U64s)
 	case KindBytes:
 		dst = append(dst, m.Bytes...)
 	case KindRef:
 		dst = binary.LittleEndian.AppendUint32(dst, m.Ref)
 	}
 	return dst, nil
+}
+
+// grow extends dst by n bytes in one step, reallocating only past the
+// buffer's high-water mark, and returns the extended slice plus the fresh
+// n-byte window. One growth check per slice payload instead of one per
+// element is what lets the word loops below run unrolled with the bounds
+// checks hoisted.
+//
+//hetlint:zeroalloc encode hot path; growth is the sanctioned cap()-guarded idiom (pinned by TestDecoderZeroSteadyStateAllocs)
+func grow(dst []byte, n int) (buf, window []byte) {
+	need := len(dst) + n
+	if need > cap(dst) {
+		next := make([]byte, need, max(2*cap(dst), need))
+		copy(next, dst)
+		dst = next
+	} else {
+		dst = dst[:need]
+	}
+	return dst, dst[need-n : need]
+}
+
+// appendI64s appends the little-endian encoding of src, 4-wide: each
+// iteration loads a fixed 32-byte window so the compiler drops the
+// per-store bounds checks. The byte stream is identical to the one-word
+// AppendUint64 loop it replaces (canonical encoding is pinned by the codec
+// fuzz corpus).
+//
+//hetlint:zeroalloc encode hot path; pinned by TestDecoderZeroSteadyStateAllocs and the mpc AllocsPerRun suite
+func appendI64s(dst []byte, src []int64) []byte {
+	dst, buf := grow(dst, 8*len(src))
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		b := buf[8*i : 8*i+32]
+		binary.LittleEndian.PutUint64(b[0:8], uint64(src[i]))
+		binary.LittleEndian.PutUint64(b[8:16], uint64(src[i+1]))
+		binary.LittleEndian.PutUint64(b[16:24], uint64(src[i+2]))
+		binary.LittleEndian.PutUint64(b[24:32], uint64(src[i+3]))
+	}
+	for ; i < len(src); i++ {
+		binary.LittleEndian.PutUint64(buf[8*i:8*i+8], uint64(src[i]))
+	}
+	return dst
+}
+
+// appendU64s is appendI64s for uint64 payloads.
+//
+//hetlint:zeroalloc encode hot path; pinned by TestDecoderZeroSteadyStateAllocs and the mpc AllocsPerRun suite
+func appendU64s(dst []byte, src []uint64) []byte {
+	dst, buf := grow(dst, 8*len(src))
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		b := buf[8*i : 8*i+32]
+		binary.LittleEndian.PutUint64(b[0:8], src[i])
+		binary.LittleEndian.PutUint64(b[8:16], src[i+1])
+		binary.LittleEndian.PutUint64(b[16:24], src[i+2])
+		binary.LittleEndian.PutUint64(b[24:32], src[i+3])
+	}
+	for ; i < len(src); i++ {
+		binary.LittleEndian.PutUint64(buf[8*i:8*i+8], src[i])
+	}
+	return dst
+}
+
+// decodeI64s fills dst from body's little-endian words, 4-wide with the
+// same fixed-window bounds-check-elimination shape as appendI64s.
+// len(body) must be 8*len(dst).
+//
+//hetlint:zeroalloc decode hot path; pinned by TestDecoderZeroSteadyStateAllocs
+func decodeI64s(dst []int64, body []byte) {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		b := body[8*i : 8*i+32]
+		dst[i] = int64(binary.LittleEndian.Uint64(b[0:8]))
+		dst[i+1] = int64(binary.LittleEndian.Uint64(b[8:16]))
+		dst[i+2] = int64(binary.LittleEndian.Uint64(b[16:24]))
+		dst[i+3] = int64(binary.LittleEndian.Uint64(b[24:32]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = int64(binary.LittleEndian.Uint64(body[8*i : 8*i+8]))
+	}
+}
+
+// decodeU64s is decodeI64s for uint64 payloads.
+//
+//hetlint:zeroalloc decode hot path; pinned by TestDecoderZeroSteadyStateAllocs
+func decodeU64s(dst []uint64, body []byte) {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		b := body[8*i : 8*i+32]
+		dst[i] = binary.LittleEndian.Uint64(b[0:8])
+		dst[i+1] = binary.LittleEndian.Uint64(b[8:16])
+		dst[i+2] = binary.LittleEndian.Uint64(b[16:24])
+		dst[i+3] = binary.LittleEndian.Uint64(b[24:32])
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = binary.LittleEndian.Uint64(body[8*i : 8*i+8])
+	}
 }
 
 // parseHeader validates a 20-byte header and returns kind and payload
@@ -141,18 +236,14 @@ func decodePayload(m *Message, body []byte) {
 			m.I64s = make([]int64, n)
 		}
 		m.I64s = m.I64s[:n]
-		for i := range m.I64s {
-			m.I64s[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
-		}
+		decodeI64s(m.I64s, body)
 	case KindUint64Slice:
 		n := len(body) / 8
 		if cap(m.U64s) < n {
 			m.U64s = make([]uint64, n)
 		}
 		m.U64s = m.U64s[:n]
-		for i := range m.U64s {
-			m.U64s[i] = binary.LittleEndian.Uint64(body[8*i:])
-		}
+		decodeU64s(m.U64s, body)
 	case KindBytes:
 		if cap(m.Bytes) < len(body) {
 			m.Bytes = make([]byte, len(body))
@@ -186,9 +277,10 @@ func DecodeMessage(b []byte, m *Message) (rest []byte, err error) {
 }
 
 // A Decoder reads frames from an io.Reader with reusable scratch: a fixed
-// header buffer, a growable payload buffer, and per-kind arenas the decoded
-// slice payloads point into. After the arenas reach their high-water mark,
-// ReadMessage performs zero allocations per frame.
+// header buffer, a growable payload buffer, and per-kind slab arenas
+// (internal/arena) the decoded slice payloads point into. After the arenas
+// reach their high-water mark, ReadMessage performs zero allocations per
+// frame.
 //
 // Decoded slice payloads alias the arenas and stay valid until the next
 // Release — in the engine, one Release per round, matching the synchronous
@@ -197,57 +289,30 @@ type Decoder struct {
 	// MaxPayload bounds accepted payload lengths; 0 means DefaultMaxPayload.
 	MaxPayload int
 
-	hdr     [HeaderSize]byte
-	body    []byte
-	i64s    []int64
-	u64s    []uint64
-	bytes   []byte
-	i64Off  int
-	u64Off  int
-	byteOff int
+	hdr   [HeaderSize]byte
+	body  []byte
+	i64s  arena.Arena[int64]
+	u64s  arena.Arena[uint64]
+	bytes arena.Arena[byte]
 }
 
 // Release resets the arenas. Every slice payload decoded since the previous
 // Release becomes invalid; capacity is retained.
 func (d *Decoder) Release() {
-	d.i64Off, d.u64Off, d.byteOff = 0, 0, 0
+	d.i64s.Reset()
+	d.u64s.Reset()
+	d.bytes.Reset()
 }
 
-// growI64 extends the arena view by n, growing the backing array only past
-// its high-water mark.
-//
-//hetlint:zeroalloc arena growth is the sanctioned cap()-guarded idiom; pinned by TestDecoderZeroSteadyStateAllocs
-func growI64(arena []int64, off, n int) []int64 {
-	if off+n > cap(arena) {
-		next := make([]int64, max(2*cap(arena), off+n))
-		copy(next, arena[:off])
-		arena = next
-	}
-	return arena[:off+n]
-}
-
-// growU64 is growI64 for the uint64 arena.
-//
-//hetlint:zeroalloc arena growth is the sanctioned cap()-guarded idiom; pinned by TestDecoderZeroSteadyStateAllocs
-func growU64(arena []uint64, off, n int) []uint64 {
-	if off+n > cap(arena) {
-		next := make([]uint64, max(2*cap(arena), off+n))
-		copy(next, arena[:off])
-		arena = next
-	}
-	return arena[:off+n]
-}
-
-// growBytes is growI64 for the byte arena.
-//
-//hetlint:zeroalloc arena growth is the sanctioned cap()-guarded idiom; pinned by TestDecoderZeroSteadyStateAllocs
-func growBytes(arena []byte, off, n int) []byte {
-	if off+n > cap(arena) {
-		next := make([]byte, max(2*cap(arena), off+n))
-		copy(next, arena[:off])
-		arena = next
-	}
-	return arena[:off+n]
+// Drop releases the arenas' slabs and the payload buffer to the garbage
+// collector — Release plus surrendering the high-water capacity. Clusters
+// call it through ResetStats so a mid-run reset returns the decode scratch
+// instead of leaking it into the next run.
+func (d *Decoder) Drop() {
+	d.i64s.Drop()
+	d.u64s.Drop()
+	d.bytes.Drop()
+	d.body = nil
 }
 
 // ReadMessage reads exactly one frame from r into m. io.EOF at a frame
@@ -275,29 +340,17 @@ func (d *Decoder) ReadMessage(r io.Reader, m *Message) error {
 	}
 	switch m.Kind {
 	case KindInt64Slice:
-		n := plen / 8
-		d.i64s = growI64(d.i64s, d.i64Off, n)
-		dst := d.i64s[d.i64Off : d.i64Off+n]
-		for i := range dst {
-			dst[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
-		}
+		dst := d.i64s.AllocUninit(plen / 8)
+		decodeI64s(dst, body)
 		m.I64s = dst
-		d.i64Off += n
 	case KindUint64Slice:
-		n := plen / 8
-		d.u64s = growU64(d.u64s, d.u64Off, n)
-		dst := d.u64s[d.u64Off : d.u64Off+n]
-		for i := range dst {
-			dst[i] = binary.LittleEndian.Uint64(body[8*i:])
-		}
+		dst := d.u64s.AllocUninit(plen / 8)
+		decodeU64s(dst, body)
 		m.U64s = dst
-		d.u64Off += n
 	case KindBytes:
-		d.bytes = growBytes(d.bytes, d.byteOff, plen)
-		dst := d.bytes[d.byteOff : d.byteOff+plen]
+		dst := d.bytes.AllocUninit(plen)
 		copy(dst, body)
 		m.Bytes = dst
-		d.byteOff += plen
 	default:
 		decodePayload(m, body)
 	}
